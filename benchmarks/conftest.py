@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each ``test_*`` regenerates one of the paper's tables/figures: it runs the
+experiment once under pytest-benchmark (pedantic mode — these are
+multi-second whole-build experiments), prints the paper-style report, and
+asserts the *shape* claims (who wins, plateaus, orderings), not absolute
+numbers.
+
+Scale: set REPRO_BENCH_SCALE=tiny|small|medium (default: tiny) to trade
+fidelity for runtime.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture
+def scale():
+    return SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

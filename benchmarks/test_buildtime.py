@@ -1,0 +1,24 @@
+"""E11 — §VII-C: build-time model."""
+
+from conftest import run_once
+
+from repro.experiments import buildtime
+
+
+def test_buildtime(benchmark, scale):
+    result = run_once(benchmark, buildtime.run, scale=scale,
+                      rounds_grid=(0, 1, 2, 3, 5))
+    print()
+    print(buildtime.format_report(result))
+    default_minutes = result.minutes_of("default", 1)
+    wp0 = result.minutes_of("wholeprogram", 0)
+    wp5 = result.minutes_of("wholeprogram", 5)
+    # The whole-program pipeline costs substantially more than default...
+    assert wp0 > 1.5 * default_minutes
+    # ... outlining rounds add more on top ...
+    assert wp5 > wp0
+    # ... but each extra round costs less than the one before.
+    assert result.round_cost_diminishes
+    # Calibration sanity: the ratios roughly match the paper's 21/53/66.
+    assert 1.5 < wp0 / default_minutes < 4.5
+    assert 1.05 < wp5 / wp0 < 1.8

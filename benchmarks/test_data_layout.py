@@ -1,0 +1,19 @@
+"""E14 — §VI-3: llvm-link data-layout ordering regression and fix."""
+
+from conftest import run_once
+
+from repro.experiments import data_layout
+
+
+def test_data_layout(benchmark, scale):
+    result = run_once(benchmark, data_layout.run, scale=scale, num_spans=5)
+    print()
+    print(data_layout.format_report(result))
+    # Interleaving module data costs data page faults and span time.
+    assert result.interleaved_has_more_faults
+    assert result.mean_regression_pct > 0.2, (
+        "legacy interleaved layout must regress span performance")
+    # The module-order fix never *loses* to interleaving on faults.
+    ordered_faults = sum(r[3] for r in result.rows)
+    interleaved_faults = sum(r[4] for r in result.rows)
+    assert ordered_faults <= interleaved_faults

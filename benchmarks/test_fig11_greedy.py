@@ -1,0 +1,20 @@
+"""E7 — Figure 11 / Listings 12-13: greedy vs repeated outlining."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_greedy
+
+
+def test_fig11_greedy(benchmark, scale):
+    result = run_once(benchmark, fig11_greedy.run, scale=scale)
+    print()
+    print(fig11_greedy.format_report(result))
+    a = result.anecdote
+    # Greedy helps, repeated helps more (the Figure 11 ordering).
+    assert a.repeated_instrs < a.greedy_instrs < a.baseline_instrs
+    # Greedy's myopic first pick is the shorter BCD pattern.
+    assert a.first_round_pattern_len == 3
+    # On the app, repetition contributes a meaningful share of the saving.
+    assert result.app_final_saving_pct > result.app_round1_saving_pct
+    assert 3.0 < result.repeat_contribution_pct < 60.0, \
+        "repetition share should be meaningful (paper: 27%)"

@@ -1,0 +1,26 @@
+"""E8 — Figure 12: size vs rounds, per-module vs whole-program."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_rounds
+
+
+def test_fig12_rounds(benchmark, scale):
+    result = run_once(benchmark, fig12_rounds.run, scale=scale,
+                      rounds_grid=(0, 1, 2, 3, 5, 6))
+    print()
+    print(fig12_rounds.format_report(result))
+    # Whole-program beats intra-module at every round count >= 1.
+    assert result.wholeprogram_beats_intra
+    wp = result.series("wholeprogram")
+    default = result.series("default")
+    for w, d in zip(wp, default):
+        if w.rounds >= 1:
+            assert w.text_bytes < d.text_bytes
+    # Sizes are monotone non-increasing in rounds, with a plateau.
+    for series in (wp, default):
+        sizes = [p.text_bytes for p in series]
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+    assert result.plateaus
+    # Binary size tracks code size.
+    assert wp[-1].binary_bytes < wp[0].binary_bytes

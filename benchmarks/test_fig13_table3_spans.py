@@ -1,0 +1,26 @@
+"""E10 — Figure 13 / Table III: span performance grid."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_spans
+from repro.sim.timing import DEVICE_GRID
+from repro.workloads.spans import OS_GRID
+
+
+def test_fig13_table3_spans(benchmark, scale):
+    # Span claims are about deep app flows: always use app scale (a 4-module
+    # "tiny" app has no deep spans, like measuring a hello-world).
+    span_scale = "small" if scale == "tiny" else scale
+    result = run_once(benchmark, fig13_spans.run, scale=span_scale,
+                      num_spans=5, devices=DEVICE_GRID[:3],
+                      os_versions=OS_GRID[:3])
+    print()
+    print(fig13_spans.format_report(result))
+    # No statistically meaningful regression: geomean at or below ~1.02.
+    assert result.geomean_ratio < 1.02, (
+        "cold spans must not regress under whole-program outlining")
+    # Most cells improve (the paper: "more blue cells").
+    assert result.pct_improved_cells >= 50.0
+    # No span collapses: every cell within a sane band.
+    for cell in result.cells:
+        assert 0.5 < cell.ratio < 1.3

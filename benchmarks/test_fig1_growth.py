@@ -1,0 +1,23 @@
+"""E1 — Figure 1 / §VII-D: code-size growth and slope ratio."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_growth
+
+
+def test_fig1_growth(benchmark, scale):
+    result = run_once(benchmark, fig1_growth.run, scale=scale,
+                      weeks=(0, 10, 20, 30))
+    print()
+    print(fig1_growth.format_report(result))
+    # Shape claims: optimized is always smaller, and grows more slowly.
+    for point in result.points:
+        assert point.optimized_text < point.baseline_text
+    assert result.baseline_fit.slope > 0
+    assert result.optimized_fit.slope > 0
+    assert result.slope_ratio > 1.2, (
+        "whole-program repeated outlining must reduce the growth rate")
+    assert result.final_saving_pct > 10.0
+    # Trend lines fit well (the paper reports 96%/98% confidence).
+    assert result.baseline_fit.r_squared > 0.8
+    assert result.optimized_fit.r_squared > 0.8

@@ -1,0 +1,26 @@
+"""E3 + E16 — Figure 5 / Listings 1-8: frequency census and power law."""
+
+from conftest import run_once
+
+from repro.experiments import fig5_powerlaw
+
+
+def test_fig5_powerlaw(benchmark, scale):
+    result = run_once(benchmark, fig5_powerlaw.run, scale=scale)
+    print()
+    print(fig5_powerlaw.format_report(result))
+    assert result.census["num_patterns"] > 100
+    # Rank/frequency obeys a power law with a negative exponent and a
+    # high-confidence log-log fit.
+    assert result.fit.b < -0.3
+    assert result.fit.r_squared > 0.85
+    # The most frequent patterns are the ARC/calling-convention pairs of
+    # Listings 1-6: short sequences involving runtime calls.
+    top = result.top
+    assert any(
+        any("swift_retain" in line or "swift_release" in line
+            for line in stat.rendered)
+        for stat in top[:4]
+    ), "retain/release call patterns must dominate (Listings 1-2)"
+    assert all(stat.length <= 4 for stat in top[:4]), \
+        "most frequent patterns are short"

@@ -1,0 +1,20 @@
+"""E4 — Figure 6: frequency-cluster length structure."""
+
+from conftest import run_once
+
+from repro.experiments import fig6_fractal
+
+
+def test_fig6_fractal(benchmark, scale):
+    result = run_once(benchmark, fig6_fractal.run, scale=scale)
+    print()
+    print(fig6_fractal.format_report(result))
+    clusters = result.clusters
+    assert len(clusters) >= 5
+    # Head clusters (most repeated) contain short patterns only.
+    assert clusters[0].max_length <= 6
+    # The tail has longer patterns than the head.
+    tail_max = max(c.max_length for c in clusters[len(clusters) // 2:])
+    head_max = max(c.max_length for c in clusters[:max(1, len(clusters) // 4)])
+    assert tail_max >= head_max
+    assert result.diversity_increases_down_tail()

@@ -1,0 +1,18 @@
+"""E5 — Figure 7: cumulative savings vs patterns outlined."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_cumulative
+
+
+def test_fig7_cumulative(benchmark, scale):
+    result = run_once(benchmark, fig7_cumulative.run, scale=scale)
+    print()
+    print(fig7_cumulative.format_report(result))
+    assert result.total_patterns > 100
+    # "One cannot hard-code a few patterns": the top ten patterns do not
+    # reach 90% of the achievable saving.
+    assert result.patterns_for_90pct > 10
+    # The curve is monotone non-decreasing.
+    totals = [total for _, total in result.curve]
+    assert all(b >= a for a, b in zip(totals, totals[1:]))

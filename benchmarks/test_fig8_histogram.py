@@ -1,0 +1,21 @@
+"""E6 — Figure 8: candidate histogram by sequence length."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_histogram
+
+
+def test_fig8_histogram(benchmark, scale):
+    result = run_once(benchmark, fig8_histogram.run, scale=scale)
+    print()
+    print(fig8_histogram.format_report(result))
+    hist = result.histogram
+    assert 2 in hist
+    # Patterns of length two occur most commonly...
+    assert result.shortest_dominates
+    # ... and lengthier patterns are quite infrequent (monotone-ish tail:
+    # the count at length 8+ is far below the count at length 2).
+    longer = sum(v for k, v in hist.items() if k >= 8)
+    assert longer < hist[2]
+    # But long repeats do exist (the paper's 279-instruction pattern).
+    assert result.max_length >= 6

@@ -1,0 +1,25 @@
+"""§VIII future-work ablations: semantic headroom, inlining interaction,
+outlined-code layout."""
+
+from conftest import run_once
+
+from repro.experiments import future_work
+
+
+def test_future_work(benchmark, scale):
+    result = run_once(benchmark, future_work.run, scale=scale, num_spans=3)
+    print()
+    print(future_work.format_report(result))
+    # (1) Register renaming leaves real headroom (Listings 1 vs 2 differ
+    # only in source register), but syntactic matching already gets most.
+    assert result.headroom.headroom_pct > 3.0
+    assert result.headroom.abstract_benefit_bytes >= \
+        result.headroom.exact_benefit_bytes
+    # (2) Inlining grows unoutlined code; whole-program outlining claws the
+    # duplication back.
+    grid = result.inline_grid
+    assert grid[(True, 0)] >= grid[(False, 0)]
+    assert result.inlining_recovered_by_outlining
+    # (3) Placing outlined code near callers never hurts span time much and
+    # usually helps (future work #3).
+    assert result.layout_geomean_ratio < 1.02

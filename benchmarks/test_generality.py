@@ -1,0 +1,19 @@
+"""E13 — §VII-E: generality on clang-like and kernel-like corpora."""
+
+from conftest import run_once
+
+from repro.experiments import generality
+
+
+def test_generality(benchmark):
+    result = run_once(benchmark, generality.run)
+    print()
+    print(generality.format_report(result))
+    for corpus in result.corpora:
+        # Meaningful savings on non-iOS code (paper: 14% and 25%).
+        assert corpus.saving_pct > 8.0, corpus.corpus
+        # Per-round sizes are monotone non-increasing.
+        sizes = corpus.per_round_text
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+    assert result.kernel_guard_pattern_found, (
+        "the stack-protector epilogue must surface as a repeating pattern")

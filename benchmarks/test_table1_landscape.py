@@ -1,0 +1,24 @@
+"""E2 — Table I: per-level savings landscape."""
+
+from conftest import run_once
+
+from repro.experiments import table1_landscape
+
+
+def test_table1_landscape(benchmark, scale):
+    result = run_once(benchmark, table1_landscape.run, scale=scale)
+    print()
+    print(table1_landscape.format_report(result))
+    s = result.savings
+    # The machine level dominates every higher level by a wide margin.
+    assert s["repeated_machine_outlining"] > 10.0
+    assert s["repeated_machine_outlining"] > 4 * max(
+        s["sil_outlining"], s["merge_functions"], s["fmsa"])
+    # Higher-level optimizations deliver only small-single-digit savings.
+    assert s["sil_outlining"] < 6.0
+    assert s["merge_functions"] < 6.0
+    assert s["fmsa"] < 10.0
+    # None of the baselines may *increase* size.
+    assert s["sil_outlining"] > -0.5
+    assert s["merge_functions"] > -0.5
+    assert s["fmsa"] > -0.5

@@ -1,0 +1,21 @@
+"""E9 — Table II: per-round outlining statistics."""
+
+from conftest import run_once
+
+from repro.experiments import table2_stats
+
+
+def test_table2_stats(benchmark, scale):
+    result = run_once(benchmark, table2_stats.run, scale=scale)
+    print()
+    print(table2_stats.format_report(result))
+    stats = result.stats
+    assert stats, "five-round build must outline something"
+    # Cumulative counters are monotone non-decreasing.
+    for key in ("sequences_outlined", "functions_created",
+                "outlined_fn_bytes"):
+        values = [getattr(s, key) for s in stats]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+    # Round 1 contributes the bulk (paper: 3.08M of 4.71M sequences).
+    assert stats[0].sequences_outlined >= 0.5 * stats[-1].sequences_outlined
+    assert result.diminishing

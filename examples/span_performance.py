@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Span performance study (Figure 13 / §VI-3): measure cold UI spans on a
+device/OS grid for the baseline and optimized builds, then demonstrate the
+llvm-link data-layout regression and its fix.
+
+    python examples/span_performance.py
+"""
+
+from repro.experiments.common import (
+    app_spec,
+    baseline_config,
+    build_app,
+    format_table,
+    optimized_config,
+)
+from repro.pipeline import BuildConfig
+from repro.sim.timing import DEVICE_GRID
+from repro.workloads.spans import OS_GRID, measure_span, select_spans
+
+
+def main() -> None:
+    spec = app_spec("small")
+    print("building baseline (default pipeline) and optimized "
+          "(whole-program, 5 rounds) ...")
+    baseline = build_app(spec, baseline_config())
+    optimized = build_app(spec, optimized_config())
+    spans = select_spans(spec, count=4)
+
+    rows = []
+    device = DEVICE_GRID[2]
+    os_version = OS_GRID[2]
+    for span in spans:
+        base = measure_span(baseline, span, device, os_version)
+        opt = measure_span(optimized, span, device, os_version)
+        rows.append((span.split("::")[0], base.cycles, opt.cycles,
+                     f"{opt.cycles / base.cycles:.3f}"))
+    print()
+    print(format_table(
+        ["span", "baseline cycles", "optimized cycles", "ratio"], rows))
+    print("(ratio < 1.0 means the outlined build is faster on cold spans)")
+
+    print("\n== llvm-link data-layout ordering (§VI-3) ==")
+    ordered = build_app(spec, BuildConfig(pipeline="wholeprogram",
+                                          outline_rounds=5,
+                                          data_layout="module-order"))
+    interleaved = build_app(spec, BuildConfig(pipeline="wholeprogram",
+                                              outline_rounds=5,
+                                              data_layout="interleaved"))
+    rows = []
+    for span in spans[:3]:
+        good = measure_span(ordered, span, DEVICE_GRID[0], OS_GRID[0])
+        bad = measure_span(interleaved, span, DEVICE_GRID[0], OS_GRID[0])
+        rows.append((span.split("::")[0], good.cycles, bad.cycles,
+                     good.data_page_faults, bad.data_page_faults))
+    print(format_table(
+        ["span", "module-order cyc", "interleaved cyc",
+         "ordered pagefaults", "interleaved pagefaults"], rows))
+    print("interleaving module data costs page faults — the regression the "
+          "paper fixed in llvm-link.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Run one of the 26 Swift algorithm benchmarks (Table IV) with and without
+repeated machine outlining, in the cycle-accurate simulator.
+
+    python examples/swift_benchmark.py [BenchmarkName] [rounds]
+    python examples/swift_benchmark.py Dijkstra 5
+"""
+
+import sys
+
+from repro.pipeline import BuildConfig, build_program, run_build
+from repro.sim.timing import DeviceConfig, TimingModel
+from repro.workloads.swift_benchmarks import BENCHMARK_NAMES, load_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "QuickSort"
+    rounds = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    if name not in BENCHMARK_NAMES:
+        print(f"unknown benchmark {name!r}; available:")
+        print("  " + ", ".join(BENCHMARK_NAMES))
+        raise SystemExit(1)
+
+    source = load_benchmark(name)
+    print(f"== {name} (baseline) ==")
+    base_build = build_program({name: source}, BuildConfig(outline_rounds=0))
+    base = run_build(base_build, timing=TimingModel(DeviceConfig()),
+                     max_steps=30_000_000)
+    print("output:", base.output)
+    print(f"instructions: {base.steps}, cycles: {base.cycles}, "
+          f"code: {base_build.sizes.text_bytes} B")
+
+    print(f"\n== {name} ({rounds} rounds of outlining) ==")
+    opt_build = build_program({name: source},
+                              BuildConfig(outline_rounds=rounds))
+    opt = run_build(opt_build, timing=TimingModel(DeviceConfig()),
+                    max_steps=30_000_000)
+    print("output:", opt.output)
+    print(f"instructions: {opt.steps}, cycles: {opt.cycles}, "
+          f"code: {opt_build.sizes.text_bytes} B")
+
+    assert base.output == opt.output, "outlining changed semantics!"
+    overhead = 100 * (opt.cycles - base.cycles) / base.cycles
+    saving = 100 * (1 - opt_build.sizes.text_bytes
+                    / base_build.sizes.text_bytes)
+    print(f"\nruntime overhead: {overhead:+.2f}%   code saving: "
+          f"{saving:.1f}%   (outputs identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no `wheel` package, so PEP 660 editable installs fail;
+`pip install -e . --no-use-pep517 --no-build-isolation` (or plain
+`pip install -e .` on a machine with wheel) works through this shim.
+"""
+
+from setuptools import setup
+
+setup()

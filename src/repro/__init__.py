@@ -1,0 +1,19 @@
+"""repro — whole-program repeated machine-code outlining, reproduced.
+
+A self-contained Python implementation of the system described in
+"An Experience with Code-Size Optimization for Production iOS Mobile
+Applications" (Chabbi, Lin, Barik — CGO 2021): a Swift-like compiler
+stack, the whole-program build pipeline, the suffix-tree MachineOutliner
+with repeated outlining, and the simulation substrate used to reproduce
+every table and figure of the paper's evaluation.
+
+Start with :func:`repro.pipeline.build_program` and
+:func:`repro.pipeline.run_build`; see README.md for a tour.
+"""
+
+__version__ = "1.0.0"
+
+from repro.pipeline import BuildConfig, BuildResult, build_program, run_build
+
+__all__ = ["BuildConfig", "BuildResult", "build_program", "run_build",
+           "__version__"]

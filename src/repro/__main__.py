@@ -1,0 +1,181 @@
+"""Command-line interface: build, run, inspect, and reproduce.
+
+    python -m repro build app.sw [--rounds 5] [--pipeline wholeprogram]
+    python -m repro run app.sw [--timing]
+    python -m repro patterns app.sw [--top 10]
+    python -m repro disasm app.sw [--function NAME]
+    python -m repro experiments [name ...] [--scale small]
+
+Multiple source files become one module each (module name = file stem).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List
+
+
+def _load_sources(paths: List[str]) -> Dict[str, str]:
+    sources: Dict[str, str] = {}
+    for path in paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        with open(path, "r", encoding="utf-8") as fh:
+            sources[name] = fh.read()
+    return sources
+
+
+def _build(args):
+    from repro.pipeline import BuildConfig, build_program
+
+    config = BuildConfig(pipeline=args.pipeline,
+                         outline_rounds=args.rounds,
+                         data_layout=args.data_layout)
+    return build_program(_load_sources(args.sources), config), config
+
+
+def cmd_build(args) -> int:
+    result, config = _build(args)
+    sizes = result.sizes
+    print(f"pipeline:  {config.pipeline}, outline rounds: {config.outline_rounds}")
+    print(f"code:      {sizes.text_bytes} bytes ({sizes.num_instrs} instructions)")
+    print(f"data:      {sizes.data_bytes} bytes")
+    print(f"binary:    {sizes.binary_bytes} bytes ({sizes.num_functions} functions)")
+    for stat in result.outline_stats:
+        print(f"  round {stat.round_no}: {stat.sequences_outlined} sequences "
+              f"-> {stat.functions_created} outlined functions, "
+              f"{stat.bytes_saved} bytes saved (cumulative)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.pipeline import run_build
+    from repro.sim.timing import DeviceConfig, TimingModel
+
+    result, _ = _build(args)
+    timing = TimingModel(DeviceConfig()) if args.timing else None
+    start = time.time()
+    execution = run_build(result, timing=timing, max_steps=args.max_steps)
+    for line in execution.output:
+        print(line)
+    if args.stats:
+        print(f"-- {execution.steps} instructions retired in "
+              f"{time.time() - start:.2f}s host time", file=sys.stderr)
+        if execution.cycles is not None:
+            print(f"-- {execution.cycles} simulated cycles", file=sys.stderr)
+        if execution.leaked:
+            print(f"-- LEAKED {len(execution.leaked)} objects",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_patterns(args) -> int:
+    from repro.analysis.patterns import mine_build_patterns
+    from repro.outliner.stats import pattern_census
+
+    result, _ = _build(args)
+    stats = mine_build_patterns(result)
+    census = pattern_census(stats)
+    print(f"{census['num_patterns']} profitable patterns, "
+          f"{census['num_candidates']} candidates, "
+          f"longest {census['max_length']} instructions")
+    for stat in stats[:args.top]:
+        print(f"\n#{stat.pattern_id}  x{stat.num_candidates}  "
+              f"len {stat.length}  [{stat.outline_class.value}]  "
+              f"saves {stat.benefit_bytes}B")
+        for line in stat.rendered:
+            print(f"    {line}")
+        if stat.functions:
+            print(f"    in: {', '.join(stat.functions)}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    result, _ = _build(args)
+    for module in result.machine_modules:
+        for fn in module.functions:
+            if args.function and args.function not in fn.name:
+                continue
+            print(fn.render())
+            print()
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    wanted = args.names or list(ALL_EXPERIMENTS)
+    for name in wanted:
+        module = ALL_EXPERIMENTS.get(name)
+        if module is None:
+            print(f"unknown experiment {name!r}; available: "
+                  f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 1
+        print("=" * 72)
+        print(f"experiment: {name}")
+        print("=" * 72)
+        kwargs = {}
+        if "scale" in module.run.__code__.co_varnames:
+            kwargs["scale"] = args.scale
+        print(module.format_report(module.run(**kwargs)))
+        print()
+    return 0
+
+
+def _add_build_args(parser) -> None:
+    parser.add_argument("sources", nargs="+", help="Swiftlet source files")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="machine outlining rounds (default 5)")
+    parser.add_argument("--pipeline", default="wholeprogram",
+                        choices=("wholeprogram", "default"))
+    parser.add_argument("--data-layout", default="module-order",
+                        choices=("module-order", "interleaved"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="compile and report sizes")
+    _add_build_args(p_build)
+    p_build.set_defaults(func=cmd_build)
+
+    p_run = sub.add_parser("run", help="compile and execute")
+    _add_build_args(p_run)
+    p_run.add_argument("--timing", action="store_true",
+                       help="enable the cycle timing model")
+    p_run.add_argument("--stats", action="store_true",
+                       help="print execution statistics to stderr")
+    p_run.add_argument("--max-steps", type=int, default=100_000_000)
+    p_run.set_defaults(func=cmd_run)
+
+    p_pat = sub.add_parser("patterns",
+                           help="mine repeated machine patterns (§IV)")
+    _add_build_args(p_pat)
+    p_pat.add_argument("--top", type=int, default=8)
+    p_pat.set_defaults(func=cmd_patterns)
+
+    p_dis = sub.add_parser("disasm", help="print generated machine code")
+    _add_build_args(p_dis)
+    p_dis.add_argument("--function", help="filter by function-name substring")
+    p_dis.set_defaults(func=cmd_disasm)
+
+    p_exp = sub.add_parser("experiments",
+                           help="regenerate the paper's tables/figures")
+    p_exp.add_argument("names", nargs="*",
+                       help="experiment names (default: all)")
+    p_exp.add_argument("--scale", default="tiny",
+                       choices=("tiny", "small", "medium", "large"))
+    p_exp.set_defaults(func=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

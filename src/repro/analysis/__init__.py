@@ -1,0 +1,27 @@
+"""Binary analysis: pattern mining, fits, distributions (Section IV)."""
+
+from repro.analysis.distributions import (
+    FrequencyCluster,
+    cumulative_savings,
+    fractal_clusters,
+    length_histogram,
+    patterns_for_fraction,
+)
+from repro.analysis.patterns import mine_build_patterns, top_patterns
+from repro.analysis.powerlaw import PowerLawFit, fit_power_law, rank_frequency
+from repro.analysis.regression import LinearFit, linear_fit
+
+__all__ = [
+    "FrequencyCluster",
+    "cumulative_savings",
+    "fractal_clusters",
+    "length_histogram",
+    "patterns_for_fraction",
+    "mine_build_patterns",
+    "top_patterns",
+    "PowerLawFit",
+    "fit_power_law",
+    "rank_frequency",
+    "LinearFit",
+    "linear_fit",
+]

@@ -1,0 +1,78 @@
+"""Distribution views over mined patterns (Figures 6-8).
+
+* :func:`length_histogram` — candidates per sequence length (Figure 8);
+* :func:`cumulative_savings` — cumulative bytes saved when outlining the
+  next most profitable pattern (Figure 7);
+* :func:`fractal_clusters` — the frequency-clustered length structure of
+  Figure 6: patterns grouped by repetition count, with per-cluster length
+  diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.outliner.stats import PatternStat
+
+
+def length_histogram(stats: Sequence[PatternStat]) -> Dict[int, int]:
+    """sequence length -> total number of candidates of that length."""
+    hist: Dict[int, int] = {}
+    for stat in stats:
+        hist[stat.length] = hist.get(stat.length, 0) + stat.num_candidates
+    return dict(sorted(hist.items()))
+
+
+def cumulative_savings(stats: Sequence[PatternStat]) -> List[Tuple[int, int]]:
+    """[(patterns outlined, cumulative bytes saved)] in benefit order."""
+    ordered = sorted(stats, key=lambda s: -s.benefit_bytes)
+    out: List[Tuple[int, int]] = []
+    total = 0
+    for i, stat in enumerate(ordered, start=1):
+        total += stat.benefit_bytes
+        out.append((i, total))
+    return out
+
+
+def patterns_for_fraction(stats: Sequence[PatternStat],
+                          fraction: float = 0.9) -> int:
+    """How many patterns must be outlined to reach *fraction* of the total
+    possible saving (the Figure 7 "> 10^2 patterns for > 90%" claim)."""
+    curve = cumulative_savings(stats)
+    if not curve:
+        return 0
+    target = curve[-1][1] * fraction
+    for count, total in curve:
+        if total >= target:
+            return count
+    return curve[-1][0]
+
+
+@dataclass(frozen=True)
+class FrequencyCluster:
+    """All patterns sharing one repetition count (one Figure 6 'step')."""
+
+    frequency: int
+    num_patterns: int
+    min_length: int
+    max_length: int
+    distinct_lengths: int
+
+
+def fractal_clusters(stats: Sequence[PatternStat]) -> List[FrequencyCluster]:
+    """Clusters ordered from most-repeated to least-repeated."""
+    by_freq: Dict[int, List[int]] = {}
+    for stat in stats:
+        by_freq.setdefault(stat.num_candidates, []).append(stat.length)
+    clusters = []
+    for freq in sorted(by_freq, reverse=True):
+        lengths = by_freq[freq]
+        clusters.append(FrequencyCluster(
+            frequency=freq,
+            num_patterns=len(lengths),
+            min_length=min(lengths),
+            max_length=max(lengths),
+            distinct_lengths=len(set(lengths)),
+        ))
+    return clusters

@@ -1,0 +1,47 @@
+"""Power-law fitting for the rank/frequency pattern study (Figure 5).
+
+The paper: "A few patterns repeat very frequently, but there is also a very
+long tail ... which obeys the power-law y = a * x^b with 99.4% confidence."
+We fit log(y) = log(a) + b*log(x) by least squares and report R^2 on the
+log-log scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.regression import LinearFit, linear_fit
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    a: float
+    b: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.a * (x ** self.b)
+
+    def equation(self) -> str:
+        return f"y = {self.a:.2f} * x^{self.b:.3f} (R^2 = {self.r_squared:.3f})"
+
+
+def fit_power_law(ranks: Sequence[float],
+                  frequencies: Sequence[float]) -> PowerLawFit:
+    xs = np.asarray(ranks, dtype=float)
+    ys = np.asarray(frequencies, dtype=float)
+    mask = (xs > 0) & (ys > 0)
+    if mask.sum() < 2:
+        raise ValueError("need at least two positive points")
+    fit: LinearFit = linear_fit(np.log(xs[mask]), np.log(ys[mask]))
+    return PowerLawFit(a=float(np.exp(fit.intercept)), b=fit.slope,
+                       r_squared=fit.r_squared)
+
+
+def rank_frequency(counts: Sequence[int]) -> Tuple[list, list]:
+    """Ranks 1..N paired with the (descending) counts."""
+    ordered = sorted(counts, reverse=True)
+    return list(range(1, len(ordered) + 1)), ordered

@@ -1,0 +1,5 @@
+"""Backend (llc analog): isel, register allocation, frame lowering."""
+
+from repro.backend.llc import LLCOptions, LLCResult, compile_function, run_llc
+
+__all__ = ["LLCOptions", "LLCResult", "compile_function", "run_llc"]

@@ -1,0 +1,87 @@
+"""Frame lowering: prologue/epilogue insertion.
+
+Produces the classic AArch64 frame shapes of the paper's Listings 7-8:
+callee-saved registers pushed in pairs with ``STP`` (first pair pre-indexed,
+allocating the area) and popped with ``LDP``.  Epilogues are emitted at
+every ``RET`` site, which is why frame teardown sequences repeat so often in
+real binaries.
+
+Frame layout (high to low addresses)::
+
+    [ x29/x30 pair ]        <- pushed first (STPXpre), x29 = new fp
+    [ callee-saved pairs ]
+    [ spill slots ]          <- sp points here in the body
+
+Leaf functions with no calls, spills, or callee-saved usage get no frame.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.backend.regalloc import AllocationResult
+from repro.isa.instructions import MachineFunction, MachineInstr, Opcode
+from repro.isa.registers import FP, LR, SP
+
+
+def lower_frame(mf: MachineFunction, alloc: AllocationResult) -> None:
+    """Insert prologue/epilogue and finalise spill-slot offsets in place."""
+    has_calls = any(instr.is_call for instr in mf.instructions())
+    csrs = list(alloc.used_callee_saved)
+    spill_bytes = 8 * alloc.num_spill_slots
+    # Keep sp 16-byte aligned.
+    if spill_bytes % 16:
+        spill_bytes += 8
+    needs_frame = has_calls or csrs or spill_bytes
+    if not needs_frame:
+        mf.frame_bytes = 0
+        return
+
+    # Pair up callee-saved registers (same-class pairs; odd tail pairs with
+    # itself padding -- modelled by pairing with the next register slot).
+    pairs = _make_pairs(csrs)
+    csr_bytes = 16 * len(pairs)
+    mf.frame_bytes = 16 + csr_bytes + spill_bytes
+
+    prologue: List[MachineInstr] = [
+        MachineInstr(Opcode.STPXpre, (FP, LR, SP, -16)),
+    ]
+    for a, b in pairs:
+        prologue.append(MachineInstr(Opcode.STPXpre, (a, b, SP, -16)))
+    if spill_bytes:
+        prologue.append(MachineInstr(Opcode.SUBXri, (SP, SP, spill_bytes)))
+
+    epilogue: List[MachineInstr] = []
+    if spill_bytes:
+        epilogue.append(MachineInstr(Opcode.ADDXri, (SP, SP, spill_bytes)))
+    for a, b in reversed(pairs):
+        epilogue.append(MachineInstr(Opcode.LDPXpost, (a, b, SP, 16)))
+    epilogue.append(MachineInstr(Opcode.LDPXpost, (FP, LR, SP, 16)))
+
+    entry = mf.blocks[0]
+    entry.instrs = prologue + entry.instrs
+
+    for blk in mf.blocks:
+        new_instrs: List[MachineInstr] = []
+        for instr in blk.instrs:
+            if instr.opcode is Opcode.RET:
+                new_instrs.extend(
+                    MachineInstr(e.opcode, e.operands) for e in epilogue
+                )
+            new_instrs.append(instr)
+        blk.instrs = new_instrs
+
+
+def _make_pairs(csrs: List[str]) -> List[Tuple[str, str]]:
+    """Group callee-saved registers into same-class STP/LDP pairs."""
+    gprs = [r for r in csrs if r.startswith("x")]
+    fprs = [r for r in csrs if r.startswith("d")]
+    pairs: List[Tuple[str, str]] = []
+    for group in (gprs, fprs):
+        for i in range(0, len(group) - 1, 2):
+            pairs.append((group[i], group[i + 1]))
+        if len(group) % 2:
+            # Odd tail: pair the register with itself's slot by storing it
+            # twice (semantically a harmless 16-byte save of one register).
+            pairs.append((group[-1], group[-1]))
+    return pairs

@@ -1,0 +1,57 @@
+"""Target ABI description for the AArch64-like backend.
+
+Mirrors AAPCS64 + the Swift error convention:
+
+* integer/pointer args in ``x0..x7``, float args in ``d0..d7``;
+* return in ``x0`` / ``d0``;
+* throwing callees report through ``x21`` (0 = success, code+1 on throw);
+* ``x19..x20, x22..x28`` and ``d8..d15`` are callee-saved;
+* ``x15/x16/x17`` and ``d16/d17`` are reserved compiler scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import BackendError
+from repro.isa.registers import (
+    ARG_FPRS,
+    ARG_GPRS,
+    CALLEE_SAVED_FPRS,
+    CALLEE_SAVED_GPRS,
+    CALLER_SAVED_FPRS,
+    CALLER_SAVED_GPRS,
+    ERROR_REG,
+    RET_FPR,
+    RET_GPR,
+)
+
+MAX_REG_ARGS = 8
+
+
+def assign_arg_registers(arg_is_float: Tuple[bool, ...]) -> List[str]:
+    """Argument registers for a call, AAPCS64-style (separate int/fp pools)."""
+    gprs = iter(ARG_GPRS)
+    fprs = iter(ARG_FPRS)
+    out: List[str] = []
+    for is_float in arg_is_float:
+        try:
+            out.append(next(fprs) if is_float else next(gprs))
+        except StopIteration:
+            raise BackendError(
+                f"more than {MAX_REG_ARGS} arguments of one class are not "
+                "supported (no stack-argument lowering)") from None
+    return out
+
+
+def return_register(is_float: bool) -> str:
+    return RET_FPR if is_float else RET_GPR
+
+
+def call_clobbers() -> Tuple[str, ...]:
+    """Registers a call may clobber (caller-saved + the error register)."""
+    return CALLER_SAVED_GPRS + CALLER_SAVED_FPRS + (ERROR_REG,)
+
+
+def is_callee_saved_reg(reg: str) -> bool:
+    return reg in CALLEE_SAVED_GPRS or reg in CALLEE_SAVED_FPRS

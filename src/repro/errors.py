@@ -1,0 +1,87 @@
+"""Shared exception hierarchy for the repro toolchain.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so that
+callers (pipelines, tests, the interpreter) can distinguish toolchain
+failures from ordinary Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolchain."""
+
+
+class DiagnosticError(ReproError):
+    """A source-level error (lex/parse/sema) with location information."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0, filename: str = "<input>"):
+        super().__init__(f"{filename}:{line}:{column}: {message}")
+        self.message = message
+        self.line = line
+        self.column = column
+        self.filename = filename
+
+
+class LexerError(DiagnosticError):
+    """Invalid token in source text."""
+
+
+class ParseError(DiagnosticError):
+    """Syntactically invalid source text."""
+
+
+class SemaError(DiagnosticError):
+    """Type or semantic error in source text."""
+
+
+class SILError(ReproError):
+    """Malformed SIL or an illegal SIL transformation."""
+
+
+class LIRError(ReproError):
+    """Malformed LIR or an illegal LIR transformation."""
+
+
+class VerifierError(LIRError):
+    """The LIR verifier found a structural violation."""
+
+
+class LinkError(ReproError):
+    """IR-level (llvm-link analog) or binary-level link failure."""
+
+
+class GCMetadataConflict(LinkError):
+    """Conflicting 'Objective-C Garbage Collection' module flags (Section VI-2).
+
+    Raised when two modules carry *monolithic* GC metadata words produced by
+    different compilers.  The attribute-based metadata mode avoids this.
+    """
+
+
+class BackendError(ReproError):
+    """Instruction selection / register allocation / frame lowering failure."""
+
+
+class RegAllocError(BackendError):
+    """The register allocator could not produce a valid assignment."""
+
+
+class OutlinerError(ReproError):
+    """Illegal outlining transformation (legality or bookkeeping violation)."""
+
+
+class SimulationError(ReproError):
+    """The machine-code interpreter hit an illegal state."""
+
+
+class TrapError(SimulationError):
+    """The simulated program executed a trap (BRK) instruction."""
+
+    def __init__(self, message: str, code: int = 0):
+        super().__init__(message)
+        self.code = code
+
+
+class RuntimeTrap(SimulationError):
+    """A simulated runtime function detected a fatal error (e.g. bad refcount)."""

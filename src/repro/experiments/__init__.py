@@ -1,0 +1,41 @@
+"""One module per reproduced table/figure (see DESIGN.md experiment index).
+
+Every experiment exposes ``run(...) -> <Result>`` and
+``format_report(result) -> str`` printing the paper-style rows.
+"""
+
+from repro.experiments import (  # noqa: F401
+    buildtime,
+    data_layout,
+    fig1_growth,
+    fig5_powerlaw,
+    fig6_fractal,
+    fig7_cumulative,
+    fig8_histogram,
+    fig11_greedy,
+    fig12_rounds,
+    fig13_spans,
+    future_work,
+    generality,
+    table1_landscape,
+    table2_stats,
+    table4_benchmarks,
+)
+
+ALL_EXPERIMENTS = {
+    "fig1_growth": fig1_growth,
+    "table1_landscape": table1_landscape,
+    "fig5_powerlaw": fig5_powerlaw,
+    "fig6_fractal": fig6_fractal,
+    "fig7_cumulative": fig7_cumulative,
+    "fig8_histogram": fig8_histogram,
+    "fig11_greedy": fig11_greedy,
+    "fig12_rounds": fig12_rounds,
+    "table2_stats": table2_stats,
+    "fig13_spans": fig13_spans,
+    "data_layout": data_layout,
+    "buildtime": buildtime,
+    "table4_benchmarks": table4_benchmarks,
+    "generality": generality,
+    "future_work": future_work,
+}

@@ -1,0 +1,89 @@
+"""Section VII-E: generality beyond iOS apps.
+
+Applies five rounds of whole-program repeated outlining to the clang-like
+and Linux-kernel-like LIR corpora, and checks the kernel-specific claim
+that the stack-protector epilogue is a common repeating pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments.common import format_table, pct_saving
+from repro.outliner.stats import collect_patterns
+from repro.pipeline import BuildConfig
+from repro.pipeline.build import build_lir_modules
+from repro.workloads.corpora import clang_like_modules, kernel_like_modules
+
+
+@dataclass
+class CorpusResult:
+    corpus: str
+    baseline_text: int
+    outlined_text: int
+    per_round_text: List[int]
+
+    @property
+    def saving_pct(self) -> float:
+        return pct_saving(self.baseline_text, self.outlined_text)
+
+
+@dataclass
+class GeneralityResult:
+    corpora: List[CorpusResult]
+    kernel_guard_pattern_found: bool
+
+
+def _build_corpus(factory: Callable, rounds: int):
+    modules = factory()
+    cfg = BuildConfig(pipeline="wholeprogram", outline_rounds=rounds,
+                      global_dce=False)
+    return build_lir_modules(modules, cfg)
+
+
+def run(rounds: int = 5) -> GeneralityResult:
+    corpora: List[CorpusResult] = []
+    for name, factory in (("linux-kernel", kernel_like_modules),
+                          ("clang", clang_like_modules)):
+        baseline = _build_corpus(factory, 0)
+        per_round = []
+        for r in range(1, rounds + 1):
+            per_round.append(_build_corpus(factory, r).sizes.text_bytes)
+        corpora.append(CorpusResult(
+            corpus=name,
+            baseline_text=baseline.sizes.text_bytes,
+            outlined_text=per_round[-1],
+            per_round_text=per_round,
+        ))
+
+    # Is the stack-protector epilogue among the kernel's mined patterns?
+    kernel_baseline = _build_corpus(kernel_like_modules, 0)
+    functions = []
+    for module in kernel_baseline.machine_modules:
+        functions.extend(module.functions)
+    stats = collect_patterns(functions)
+    guard_found = any(
+        any("__stack_chk" in line or "stack_chk_guard" in line
+            for line in stat.rendered)
+        for stat in stats[:25]
+    )
+    return GeneralityResult(corpora=corpora,
+                            kernel_guard_pattern_found=guard_found)
+
+
+def format_report(result: GeneralityResult) -> str:
+    rows = []
+    for c in result.corpora:
+        rounds = " -> ".join(str(t) for t in c.per_round_text)
+        rows.append((c.corpus, c.baseline_text, rounds,
+                     f"{c.saving_pct:.1f}%"))
+    table = format_table(
+        ["corpus", "baseline code B", "code B by round", "saving"], rows)
+    return (
+        "Section VII-E: generality on non-iOS corpora\n"
+        f"{table}\n"
+        "[paper: Linux kernel 14%, clang 25% with five rounds]\n"
+        f"kernel stack-protector check among top repeating patterns: "
+        f"{result.kernel_guard_pattern_found}"
+    )

@@ -1,0 +1,6 @@
+"""Swiftlet frontend: lexer, parser, AST, and semantic analysis."""
+
+from repro.frontend.parser import parse_module
+from repro.frontend.sema import ProgramInfo, analyze_program
+
+__all__ = ["parse_module", "analyze_program", "ProgramInfo"]

@@ -1,0 +1,45 @@
+"""Byte-size accounting for the fixed-width target.
+
+AArch64 instructions are all 4 bytes, a property the paper exploits when it
+counts instructions to measure size savings ("the saving is computed based on
+the number of instructions, which is fixed-width in AArch64").  These helpers
+centralise the arithmetic used by the cost model, the linker, and the
+experiment reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.isa.instructions import INSTR_BYTES, MachineFunction
+
+#: Per-function non-code overhead carried into the final binary: a symbol
+#: table entry and compact unwind info.  This is why Figure 12's *binary*
+#: size shrinks slightly less than its *code* size and why each outlined
+#: function is not free.
+FUNCTION_METADATA_BYTES = 32
+
+#: Functions are laid out at 4-byte alignment (no padding for fixed width).
+FUNCTION_ALIGNMENT = 4
+
+
+def instrs_to_bytes(num_instrs: int) -> int:
+    """Size in bytes of ``num_instrs`` fixed-width instructions."""
+    return num_instrs * INSTR_BYTES
+
+
+def function_text_bytes(fn: MachineFunction) -> int:
+    """__text bytes contributed by one function (alignment included)."""
+    size = fn.size_bytes
+    rem = size % FUNCTION_ALIGNMENT
+    if rem:
+        size += FUNCTION_ALIGNMENT - rem
+    return size
+
+
+def total_text_bytes(functions: Iterable[MachineFunction]) -> int:
+    return sum(function_text_bytes(fn) for fn in functions)
+
+
+def total_metadata_bytes(functions: Iterable[MachineFunction]) -> int:
+    return sum(FUNCTION_METADATA_BYTES for _ in functions)

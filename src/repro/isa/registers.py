@@ -1,0 +1,121 @@
+"""Register model for the AArch64-like target.
+
+The target mirrors the subset of AArch64 that matters for the paper's
+experiments:
+
+* 31 general-purpose 64-bit registers ``x0`` .. ``x30`` plus the dedicated
+  stack pointer ``sp`` and the always-zero register ``xzr``;
+* 32 floating-point 64-bit registers ``d0`` .. ``d31``;
+* ``x29`` is the frame pointer (``fp``) and ``x30`` the link register
+  (``lr``), exactly as in the AAPCS64 calling convention the paper's
+  Listings 1-8 rely on.
+
+Registers are plain interned strings; virtual registers used before
+register allocation are spelled ``v<N>`` (integer class) and ``fv<N>``
+(floating-point class).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+# --- Physical registers -----------------------------------------------------
+
+GPRS: Tuple[str, ...] = tuple(f"x{i}" for i in range(31))
+FPRS: Tuple[str, ...] = tuple(f"d{i}" for i in range(32))
+
+SP = "sp"
+XZR = "xzr"
+FP = "x29"
+LR = "x30"
+
+#: Argument-passing registers of the AAPCS64-style calling convention.
+ARG_GPRS: Tuple[str, ...] = tuple(f"x{i}" for i in range(8))
+ARG_FPRS: Tuple[str, ...] = tuple(f"d{i}" for i in range(8))
+
+#: Return-value registers.
+RET_GPR = "x0"
+RET_FPR = "d0"
+
+#: Swift-style error register: a throwing callee reports its error object here
+#: (the real Swift convention uses x21; see Section IV / Listing 10 context).
+ERROR_REG = "x21"
+
+#: Callee-saved registers (spilled in pairs by frame lowering; the source of
+#: the paper's Listing 7/8 STP/LDP frame patterns).  x29/x30 are handled
+#: separately by the prologue; x21 is excluded because it carries the Swift
+#: error convention across call boundaries.
+CALLEE_SAVED_GPRS: Tuple[str, ...] = ("x19", "x20", "x22", "x23", "x24",
+                                      "x25", "x26", "x27", "x28")
+CALLEE_SAVED_FPRS: Tuple[str, ...] = tuple(f"d{i}" for i in range(8, 16))
+
+#: Registers available to the allocator.  x15/x16/x17 are reserved as spill
+#: and call scratch; x18 is the platform register on Apple targets and never
+#: allocated; x21 is the error register.
+ALLOCATABLE_GPRS: Tuple[str, ...] = (
+    tuple(f"x{i}" for i in range(0, 15)) + CALLEE_SAVED_GPRS
+)
+ALLOCATABLE_FPRS: Tuple[str, ...] = tuple(f"d{i}" for i in range(0, 16))
+
+#: Caller-saved sets (clobbered by calls).
+CALLER_SAVED_GPRS: Tuple[str, ...] = tuple(f"x{i}" for i in range(0, 18))
+CALLER_SAVED_FPRS: Tuple[str, ...] = tuple(f"d{i}" for i in range(0, 8))
+
+SCRATCH_GPR0 = "x16"
+SCRATCH_GPR1 = "x17"
+SCRATCH_GPR2 = "x15"
+SCRATCH_FPR0 = "d16"
+SCRATCH_FPR1 = "d17"
+
+ALL_PHYSICAL = frozenset(GPRS) | frozenset(FPRS) | {SP, XZR}
+
+
+class RegClass(Enum):
+    """Register class of an operand."""
+
+    GPR = "gpr"
+    FPR = "fpr"
+
+
+def is_physical(reg: str) -> bool:
+    """Return True if *reg* names a physical register."""
+    return reg in ALL_PHYSICAL
+
+
+def is_virtual(reg: str) -> bool:
+    """Return True if *reg* is a virtual register (``v<N>`` or ``fv<N>``)."""
+    return (reg.startswith("v") or reg.startswith("fv")) and reg[-1].isdigit()
+
+
+def reg_class(reg: str) -> RegClass:
+    """Return the register class of a physical or virtual register."""
+    if reg.startswith("d") or reg.startswith("fv"):
+        return RegClass.FPR
+    return RegClass.GPR
+
+
+def is_callee_saved(reg: str) -> bool:
+    """Return True if *reg* must be preserved across calls by the callee."""
+    return reg in CALLEE_SAVED_GPRS or reg in CALLEE_SAVED_FPRS or reg in (FP, LR)
+
+
+class VirtualRegisterAllocator:
+    """Factory for fresh virtual register names, one per machine function."""
+
+    def __init__(self) -> None:
+        self._next_gpr = 0
+        self._next_fpr = 0
+
+    def new_gpr(self) -> str:
+        name = f"v{self._next_gpr}"
+        self._next_gpr += 1
+        return name
+
+    def new_fpr(self) -> str:
+        name = f"fv{self._next_fpr}"
+        self._next_fpr += 1
+        return name
+
+    def new(self, cls: RegClass) -> str:
+        return self.new_fpr() if cls is RegClass.FPR else self.new_gpr()

@@ -1,0 +1,6 @@
+"""System linker and binary image."""
+
+from repro.link.binary import BinaryImage, FunctionExtent
+from repro.link.linker import link_binary
+
+__all__ = ["BinaryImage", "FunctionExtent", "link_binary"]

@@ -1,0 +1,111 @@
+"""Final binary image: a Mach-O-like executable model.
+
+The system linker flattens machine modules into:
+
+* ``__text`` — all instructions at 4-byte granularity, function by function
+  in link order, with every branch/symbol reference resolved to an absolute
+  address;
+* ``__data`` — globals in the order the IR linker chose (this ordering is
+  the subject of the Section VI-3 data-layout experiment);
+* a symbol table and per-function metadata (whose bytes are why the whole
+  binary shrinks slightly less than the code section in Figure 12).
+
+Runtime functions get stub addresses in a reserved range; the interpreter
+dispatches them natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.isa.encoding import FUNCTION_METADATA_BYTES
+from repro.isa.instructions import INSTR_BYTES, MachineFunction, MachineGlobal, MachineInstr
+from repro.runtime import layout
+
+TEXT_BASE = 0x1_0000_0000
+PAGE_SIZE = 4096
+#: Runtime stubs live below the text base; each gets one slot.
+RUNTIME_STUB_BASE = 0x0_F000_0000
+STACK_BASE = 0x7_FFFF_F000
+HEAP_BASE = 0x2_0000_0000
+
+
+@dataclass
+class FunctionExtent:
+    name: str
+    start: int  # address
+    end: int    # address one past the last instruction
+    source_module: str = ""
+    is_outlined: bool = False
+
+
+@dataclass
+class BinaryImage:
+    """A linked, loadable executable."""
+
+    instrs: List[MachineInstr] = field(default_factory=list)
+    text_base: int = TEXT_BASE
+    #: Per-instruction resolved branch/symbol target address (by index).
+    resolved_target: Dict[int, int] = field(default_factory=dict)
+    #: Per-instruction resolved data/function symbol address (ADRP/ADDlo).
+    resolved_sym: Dict[int, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    runtime_stubs: Dict[int, str] = field(default_factory=dict)
+    functions: List[FunctionExtent] = field(default_factory=list)
+    #: Initial data memory (word address -> int or float).
+    data_init: Dict[int, Union[int, float]] = field(default_factory=dict)
+    data_base: int = 0
+    data_end: int = 0
+    entry_symbol: Optional[str] = None
+    #: Data addresses grouped by origin module (for locality metrics).
+    data_extent_of_module: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    # -- size accounting (what Figure 12 plots) ------------------------------
+
+    @property
+    def text_bytes(self) -> int:
+        return len(self.instrs) * INSTR_BYTES
+
+    @property
+    def data_bytes(self) -> int:
+        return self.data_end - self.data_base
+
+    @property
+    def metadata_bytes(self) -> int:
+        return FUNCTION_METADATA_BYTES * len(self.functions)
+
+    @property
+    def binary_bytes(self) -> int:
+        return self.text_bytes + self.data_bytes + self.metadata_bytes
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions)
+
+    # -- lookup helpers --------------------------------------------------------
+
+    def addr_of_index(self, index: int) -> int:
+        return self.text_base + index * INSTR_BYTES
+
+    def index_of_addr(self, addr: int) -> int:
+        return (addr - self.text_base) // INSTR_BYTES
+
+    def function_at(self, addr: int) -> Optional[FunctionExtent]:
+        # Binary search over sorted extents.
+        lo, hi = 0, len(self.functions) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            ext = self.functions[mid]
+            if addr < ext.start:
+                hi = mid - 1
+            elif addr >= ext.end:
+                lo = mid + 1
+            else:
+                return ext
+        return None
+
+    def entry_address(self) -> int:
+        if self.entry_symbol is None or self.entry_symbol not in self.symbols:
+            raise KeyError(f"no entry symbol ({self.entry_symbol!r})")
+        return self.symbols[self.entry_symbol]

@@ -1,0 +1,227 @@
+"""System linker: machine modules -> :class:`BinaryImage`.
+
+Lays out text function-by-function in link order, resolves local labels and
+cross-module symbols, materialises data globals (with immortal object
+headers for const arrays and string literals), and assigns runtime stubs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import LinkError
+from repro.isa.instructions import (
+    INSTR_BYTES,
+    Label,
+    MachineFunction,
+    MachineGlobal,
+    MachineModule,
+    Opcode,
+    Sym,
+)
+from repro.link.binary import (
+    BinaryImage,
+    FunctionExtent,
+    PAGE_SIZE,
+    RUNTIME_STUB_BASE,
+    TEXT_BASE,
+)
+from repro.runtime import layout
+from repro.runtime.names import ALL_RUNTIME_SYMBOLS
+
+
+def link_binary(modules: Sequence[MachineModule],
+                entry_symbol: Optional[str] = None,
+                outlined_layout: str = "appended") -> BinaryImage:
+    """Link machine modules into an executable image.
+
+    ``outlined_layout`` controls where outlined functions land in __text:
+
+    * ``"appended"`` — wherever the outliner appended them (what the paper
+      shipped; outlined code clusters at the end of its module);
+    * ``"near-callers"`` — each outlined function is placed directly after
+      the function with the most call sites to it, improving the locality
+      of outlined code (the paper's future work #3).
+    """
+    image = BinaryImage(entry_symbol=entry_symbol)
+
+    ordered_functions: List[MachineFunction] = []
+    for module in modules:
+        ordered_functions.extend(module.functions)
+    if outlined_layout == "near-callers":
+        ordered_functions = _layout_outlined_near_callers(ordered_functions)
+    elif outlined_layout != "appended":
+        raise LinkError(f"unknown outlined layout {outlined_layout!r}")
+
+    # Pass 1: lay out functions and record symbol addresses.
+    addr = TEXT_BASE
+    label_addr: Dict[Tuple[str, str], int] = {}
+    all_functions: List[MachineFunction] = []
+    for fn in ordered_functions:
+        if fn.name in image.symbols:
+            raise LinkError(f"duplicate symbol {fn.name!r}")
+        image.symbols[fn.name] = addr
+        start = addr
+        for blk in fn.blocks:
+            label_addr[(fn.name, blk.label)] = addr
+            addr += INSTR_BYTES * len(blk.instrs)
+        image.functions.append(
+            FunctionExtent(name=fn.name, start=start, end=addr,
+                           source_module=fn.source_module,
+                           is_outlined=fn.is_outlined))
+        all_functions.append(fn)
+
+    # Runtime stubs for unresolved runtime symbols.
+    stub_addr = RUNTIME_STUB_BASE
+    for name in sorted(ALL_RUNTIME_SYMBOLS):
+        image.symbols.setdefault(name, stub_addr)
+        image.runtime_stubs[stub_addr] = name
+        stub_addr += INSTR_BYTES
+
+    # Pass 2: data layout (in the order the IR linker fixed).
+    data_base = _page_align(addr)
+    image.data_base = data_base
+    daddr = data_base
+    module_extents: Dict[str, List[int]] = {}
+    for module in modules:
+        for gbl in module.globals:
+            if gbl.name in image.symbols:
+                raise LinkError(f"duplicate data symbol {gbl.name!r}")
+            image.symbols[gbl.name] = daddr
+            size = _emit_global(image, gbl, daddr)
+            module_extents.setdefault(gbl.origin_module, []).extend(
+                [daddr, daddr + size])
+            daddr += size
+    image.data_end = daddr
+    for name, points in module_extents.items():
+        image.data_extent_of_module[name] = (min(points), max(points))
+
+    # Pass 3: flatten instructions and resolve references.
+    for fn in all_functions:
+        for blk in fn.blocks:
+            for instr in blk.instrs:
+                idx = len(image.instrs)
+                image.instrs.append(instr)
+                _resolve(image, fn, instr, idx, label_addr)
+    return image
+
+
+def _layout_outlined_near_callers(
+        functions: List[MachineFunction]) -> List[MachineFunction]:
+    """Place each outlined function after its most frequent caller.
+
+    Outlined functions called from everywhere (the popular retain/release
+    thunks) still get one home; the win comes from the long tail of
+    outlined functions with one or two callers, which land on the same
+    page / cache lines as the code that calls them.
+    """
+    regular = [fn for fn in functions if not fn.is_outlined]
+    outlined = [fn for fn in functions if fn.is_outlined]
+    if not outlined:
+        return functions
+    # Caller census: outlined name -> {caller name: call sites}.
+    callers: Dict[str, Dict[str, int]] = {fn.name: {} for fn in outlined}
+    for fn in functions:
+        for instr in fn.instructions():
+            callee = instr.callee()
+            if callee in callers:
+                census = callers[callee]
+                census[fn.name] = census.get(fn.name, 0) + 1
+    placed_after: Dict[str, List[MachineFunction]] = {}
+    orphans: List[MachineFunction] = []
+    for fn in outlined:
+        census = callers[fn.name]
+        if not census:
+            orphans.append(fn)
+            continue
+        best = max(sorted(census), key=lambda name: census[name])
+        placed_after.setdefault(best, []).append(fn)
+    out: List[MachineFunction] = []
+    for fn in regular:
+        out.append(fn)
+        out.extend(placed_after.pop(fn.name, ()))
+    # Callers that were themselves outlined: resolve iteratively.
+    remaining = [fn for group in placed_after.values() for fn in group]
+    progress = True
+    while remaining and progress:
+        progress = False
+        placed_names = {fn.name: i for i, fn in enumerate(out)}
+        still: List[MachineFunction] = []
+        for fn in remaining:
+            census = callers[fn.name]
+            hosts = [n for n in census if n in placed_names]
+            if hosts:
+                host = max(sorted(hosts), key=lambda name: census[name])
+                out.insert(placed_names[host] + 1, fn)
+                progress = True
+            else:
+                still.append(fn)
+        remaining = still
+    out.extend(remaining)
+    out.extend(orphans)
+    return out
+
+
+def _page_align(addr: int) -> int:
+    rem = addr % PAGE_SIZE
+    return addr + (PAGE_SIZE - rem) if rem else addr
+
+
+def _resolve(image: BinaryImage, fn: MachineFunction, instr, idx: int,
+             label_addr: Dict[Tuple[str, str], int]) -> None:
+    target = instr.branch_target()
+    if target is not None:
+        key = (fn.name, target)
+        if key not in label_addr:
+            raise LinkError(f"{fn.name}: unresolved local label {target!r}")
+        image.resolved_target[idx] = label_addr[key]
+        return
+    if instr.opcode is Opcode.BL or instr.is_tail_call:
+        sym = instr.operands[0]
+        if isinstance(sym, Sym):
+            if sym.name not in image.symbols:
+                raise LinkError(f"{fn.name}: undefined symbol {sym.name!r}")
+            image.resolved_target[idx] = image.symbols[sym.name]
+        return
+    if instr.opcode in (Opcode.ADRP, Opcode.ADDlo):
+        for op in instr.operands:
+            if isinstance(op, Sym):
+                if op.name not in image.symbols:
+                    raise LinkError(
+                        f"{fn.name}: undefined symbol {op.name!r}")
+                image.resolved_sym[idx] = image.symbols[op.name]
+                return
+
+
+def _emit_global(image: BinaryImage, gbl: MachineGlobal, addr: int) -> int:
+    """Write a global's initial bytes into data_init; returns its size."""
+    mem = image.data_init
+    if isinstance(gbl.values, str):
+        # Immortal string object followed by its character buffer.
+        text = gbl.values
+        buf = addr + layout.STRING_OBJECT_BYTES
+        mem[addr + layout.HEADER_TYPEID] = layout.TYPE_ID_STRING
+        mem[addr + layout.HEADER_RC] = layout.IMMORTAL_RC
+        mem[addr + layout.STRING_COUNT] = len(text)
+        mem[addr + layout.STRING_BUF] = buf
+        for i, ch in enumerate(text):
+            mem[buf + 8 * i] = ord(ch)
+        return layout.STRING_OBJECT_BYTES + 8 * max(1, len(text))
+    if gbl.is_object:
+        # Immortal array object followed by its payload buffer.
+        values = gbl.values
+        buf = addr + layout.ARRAY_OBJECT_BYTES
+        kind = layout.ELEM_FLOAT if gbl.elem_is_float else layout.ELEM_PLAIN
+        mem[addr + layout.HEADER_TYPEID] = (layout.TYPE_ID_ARRAY | (kind << 8))
+        mem[addr + layout.HEADER_RC] = layout.IMMORTAL_RC
+        mem[addr + layout.ARRAY_COUNT] = len(values)
+        mem[addr + layout.ARRAY_CAPACITY] = len(values)
+        mem[addr + layout.ARRAY_BUF] = buf
+        for i, value in enumerate(values):
+            mem[buf + 8 * i] = value
+        return layout.ARRAY_OBJECT_BYTES + 8 * max(1, len(values))
+    # Raw slot(s).
+    values = gbl.values
+    for i, value in enumerate(values):
+        mem[addr + 8 * i] = value
+    return 8 * max(1, len(values))

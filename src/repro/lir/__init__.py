@@ -1,0 +1,7 @@
+"""LIR layer: the LLVM-IR analog (IR, irgen, passes, llvm-link)."""
+
+from repro.lir import ir
+from repro.lir.irgen import generate_lir
+from repro.lir.linker import LinkOptions, link_modules
+
+__all__ = ["ir", "generate_lir", "link_modules", "LinkOptions"]

@@ -1,0 +1,101 @@
+"""CFG analyses for LIR: reachability, dominator tree, dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy iterative dominator algorithm, which is
+what mem2reg's phi placement and the verifier's SSA checks build on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.lir.ir import LIRFunction
+
+
+def reachable_blocks(fn: LIRFunction) -> List[str]:
+    """Labels of blocks reachable from entry, in reverse post-order."""
+    succs = {blk.label: blk.successors() for blk in fn.blocks}
+    visited: Set[str] = set()
+    post: List[str] = []
+
+    # Iterative DFS (deep CFGs from long try-chains would blow the stack).
+    stack = [(fn.entry.label, iter(succs[fn.entry.label]))]
+    visited.add(fn.entry.label)
+    while stack:
+        label, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(succs[succ])))
+                advanced = True
+                break
+        if not advanced:
+            post.append(label)
+            stack.pop()
+    post.reverse()
+    return post
+
+
+def compute_dominators(fn: LIRFunction) -> Dict[str, Optional[str]]:
+    """Immediate dominator of each reachable block (entry maps to None)."""
+    rpo = reachable_blocks(fn)
+    index = {label: i for i, label in enumerate(rpo)}
+    preds_all = fn.predecessors()
+    preds = {
+        label: [p for p in preds_all.get(label, []) if p in index]
+        for label in rpo
+    }
+    idom: Dict[str, Optional[str]] = {rpo[0]: rpo[0]}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo[1:]:
+            candidates = [p for p in preds[label] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+    result: Dict[str, Optional[str]] = {rpo[0]: None}
+    for label in rpo[1:]:
+        result[label] = idom.get(label)
+    return result
+
+
+def dominance_frontiers(fn: LIRFunction) -> Dict[str, Set[str]]:
+    """Dominance frontier of each reachable block."""
+    idom = compute_dominators(fn)
+    preds_all = fn.predecessors()
+    frontiers: Dict[str, Set[str]] = {label: set() for label in idom}
+    for label in idom:
+        preds = [p for p in preds_all.get(label, []) if p in idom]
+        if len(preds) < 2:
+            continue
+        for pred in preds:
+            runner = pred
+            while runner is not None and runner != idom[label]:
+                frontiers[runner].add(label)
+                runner = idom[runner]
+    return frontiers
+
+
+def dominates(idom: Dict[str, Optional[str]], a: str, b: str) -> bool:
+    """True if block *a* dominates block *b* (given an idom map)."""
+    runner: Optional[str] = b
+    while runner is not None:
+        if runner == a:
+            return True
+        runner = idom.get(runner)
+    return False

@@ -1,0 +1,1 @@
+"""LIR optimization passes."""

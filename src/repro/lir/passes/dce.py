@@ -1,0 +1,42 @@
+"""Dead code elimination: drop side-effect-free instructions with unused
+results, iterating to a fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.lir import ir
+
+
+def run_on_function(fn: ir.LIRFunction) -> int:
+    removed = 0
+    while True:
+        used: Set[int] = set()
+        for blk in fn.blocks:
+            for instr in blk.instrs:
+                for op in instr.operands():
+                    if ir.is_value(op):
+                        used.add(op)
+        changed = False
+        for blk in fn.blocks:
+            kept = []
+            for instr in blk.instrs:
+                dead = (
+                    instr.result is not None
+                    and instr.result not in used
+                    and not instr.has_side_effects
+                    and not isinstance(instr, ir.TermInstr)
+                )
+                if dead:
+                    removed += 1
+                    changed = True
+                else:
+                    kept.append(instr)
+            blk.instrs = kept
+        if not changed:
+            return removed
+
+
+def run_on_module(module: ir.LIRModule) -> int:
+    return sum(run_on_function(fn) for fn in module.functions)

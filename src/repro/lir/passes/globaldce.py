@@ -1,0 +1,40 @@
+"""Global DCE: strip functions unreachable from the entry point.
+
+Models the dead-code-removal infrastructure Uber already ran before this
+paper's work (§II-B); app builds keep only what main can reach, directly or
+through an address-taken closure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.lir import ir
+
+
+def run_on_module(module: ir.LIRModule) -> int:
+    """Returns the number of functions removed."""
+    if module.entry_symbol is None:
+        return 0
+    by_symbol: Dict[str, ir.LIRFunction] = {
+        fn.symbol: fn for fn in module.functions
+    }
+    if module.entry_symbol not in by_symbol:
+        return 0
+    reachable: Set[str] = set()
+    work = [module.entry_symbol]
+    while work:
+        symbol = work.pop()
+        if symbol in reachable or symbol not in by_symbol:
+            continue
+        reachable.add(symbol)
+        for instr in by_symbol[symbol].instructions():
+            if isinstance(instr, ir.Call) and instr.callee:
+                work.append(instr.callee)
+            elif isinstance(instr, ir.FuncAddr):
+                work.append(instr.symbol)
+    removed = len(module.functions) - len(
+        [fn for fn in module.functions if fn.symbol in reachable])
+    module.functions = [fn for fn in module.functions
+                        if fn.symbol in reachable]
+    return removed

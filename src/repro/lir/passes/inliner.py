@@ -1,0 +1,106 @@
+"""Trivial -Osize inliner.
+
+Inlines calls to *tiny* functions: single basic block, non-throwing,
+non-recursive, not address-taken, and at most ``MAX_INLINE_INSTRS``
+instructions.  This is the size-safe subset every -Osize compiler inlines
+(accessors, forwarding shims).
+
+Exists mainly for the paper's future-work question #2 — how inlining
+interacts with machine outlining: inlining *duplicates* code that the
+outliner then re-deduplicates at finer granularity.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Set
+
+from repro.lir import ir
+
+MAX_INLINE_INSTRS = 8
+
+
+def _inlinable(fn: ir.LIRFunction) -> bool:
+    if fn.throws or len(fn.blocks) != 1:
+        return False
+    blk = fn.blocks[0]
+    if len(blk.instrs) > MAX_INLINE_INSTRS + 1:  # +1 for the Ret
+        return False
+    term = blk.terminator
+    if not isinstance(term, ir.Ret):
+        return False
+    for instr in blk.instrs:
+        # Self-recursion guard and no nested error-convention traffic.
+        if isinstance(instr, (ir.SetError, ir.ReadError)):
+            return False
+        if isinstance(instr, ir.Call) and instr.callee == fn.symbol:
+            return False
+    return True
+
+
+def _address_taken(module: ir.LIRModule) -> Set[str]:
+    taken: Set[str] = set()
+    for fn in module.functions:
+        for instr in fn.instructions():
+            if isinstance(instr, ir.FuncAddr):
+                taken.add(instr.symbol)
+    return taken
+
+
+def _splice(caller: ir.LIRFunction, call: ir.Call,
+            callee: ir.LIRFunction) -> List[ir.LIRInstr]:
+    """Clone the callee body with caller-fresh values; returns new instrs."""
+    mapping: Dict[int, ir.Operand] = {}
+    for param, arg in zip(callee.params, call.args):
+        mapping[param] = arg
+    out: List[ir.LIRInstr] = []
+    ret_value: Optional[ir.Operand] = None
+    for instr in callee.blocks[0].instrs:
+        if isinstance(instr, ir.Ret):
+            ret_value = instr.value
+            if ir.is_value(ret_value) and ret_value in mapping:
+                ret_value = mapping[ret_value]
+            break
+        clone = copy.deepcopy(instr)
+        clone.replace_operands(mapping)
+        if clone.result is not None:
+            fresh = caller.new_value()
+            mapping[clone.result] = fresh
+            clone.result = fresh
+        out.append(clone)
+    if call.result is not None:
+        if ret_value is None:
+            ret_value = ir.Const(0)
+        out.append(ir.Copy(result=call.result, value=ret_value,
+                           is_float=call.ret_is_float))
+    return out
+
+
+def run_on_module(module: ir.LIRModule) -> Dict[str, int]:
+    """Inline every eligible call site; returns metrics."""
+    taken = _address_taken(module)
+    candidates = {
+        fn.symbol: fn for fn in module.functions
+        if _inlinable(fn) and fn.symbol not in taken
+        and fn.symbol != module.entry_symbol
+    }
+    sites = 0
+    for fn in module.functions:
+        for blk in fn.blocks:
+            new_instrs: List[ir.LIRInstr] = []
+            for instr in blk.instrs:
+                if (
+                    isinstance(instr, ir.Call)
+                    and not instr.throws
+                    and instr.callee in candidates
+                    and instr.callee != fn.symbol
+                ):
+                    callee = candidates[instr.callee]
+                    if len(callee.params) == len(instr.args):
+                        new_instrs.extend(_splice(fn, instr, callee))
+                        sites += 1
+                        continue
+                new_instrs.append(instr)
+            blk.instrs = new_instrs
+    # Now-unreferenced tiny functions are removed by globaldce later.
+    return {"sites_inlined": sites, "inlinable_functions": len(candidates)}

@@ -1,0 +1,62 @@
+"""Out-of-SSA translation (phi elimination).
+
+Replaces every phi with copies using the classic two-stage scheme that is
+immune to the lost-copy and swap problems:
+
+* for each phi ``p`` a fresh staging value ``t_p`` is introduced;
+* every predecessor appends ``t_p = incoming_value`` before its terminator;
+* the phi itself becomes ``p.result = t_p`` at the head of its block.
+
+This is precisely the step the paper blames for the O(N^2) copy/spill
+blow-up of Swift ``try``-heavy initializers (Listing 11, Figure 9): a shared
+error block with N phis and E incoming edges gains N copies on *each* edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lir import ir
+
+
+def run_on_function(fn: ir.LIRFunction) -> int:
+    """Eliminate all phis; returns the number of copies inserted."""
+    copies = 0
+    # Collect phis per block first (mutating as we go is error-prone).
+    phi_sites: List[Tuple[str, List[ir.Phi]]] = []
+    for blk in fn.blocks:
+        phis = blk.phis()
+        if phis:
+            phi_sites.append((blk.label, phis))
+    if not phi_sites:
+        return 0
+    for label, phis in phi_sites:
+        blk = fn.block(label)
+        staging: Dict[int, ir.Value] = {}
+        for phi in phis:
+            staging[id(phi)] = fn.new_value()
+        # Stage copies in predecessors.
+        for phi in phis:
+            t_p = staging[id(phi)]
+            for pred_label, op in phi.incomings:
+                pred = fn.block(pred_label)
+                insert_at = len(pred.instrs)
+                if pred.terminator is not None:
+                    insert_at -= 1
+                pred.instrs.insert(
+                    insert_at,
+                    ir.Copy(result=t_p, value=op, is_float=phi.is_float))
+                copies += 1
+        # Replace the phis with reads of the staging values.
+        head = [
+            ir.Copy(result=phi.result, value=staging[id(phi)],
+                    is_float=phi.is_float)
+            for phi in phis
+        ]
+        blk.instrs = head + blk.instrs[len(phis):]
+        copies += len(head)
+    return copies
+
+
+def run_on_module(module: ir.LIRModule) -> int:
+    return sum(run_on_function(fn) for fn in module.functions)

@@ -1,0 +1,30 @@
+"""Whole-program repeated machine-code outlining (the paper's contribution)."""
+
+from repro.outliner.cost_model import CandidateCost, OutlineClass, classify, cost_of
+from repro.outliner.machine_outliner import (
+    OUTLINED_PREFIX,
+    OutlinedPattern,
+    RoundStats,
+    run_one_round,
+)
+from repro.outliner.repeated import (
+    OutlineRoundStats,
+    repeated_outline,
+    repeated_outline_functions,
+)
+from repro.outliner.suffix_tree import SuffixTree
+
+__all__ = [
+    "CandidateCost",
+    "OutlineClass",
+    "classify",
+    "cost_of",
+    "OUTLINED_PREFIX",
+    "OutlinedPattern",
+    "RoundStats",
+    "run_one_round",
+    "OutlineRoundStats",
+    "repeated_outline",
+    "repeated_outline_functions",
+    "SuffixTree",
+]

@@ -1,0 +1,82 @@
+"""AArch64-style outlining cost model.
+
+Classifies a candidate sequence into the four AArch64 outlining classes and
+prices each in bytes (fixed-width ISA: 4 bytes per instruction):
+
+============  ======================  ==============================  =====
+class         call at each site       outlined function body          frame
+============  ======================  ==============================  =====
+tail-call     ``B`` (4B)              sequence as-is (ends RET)       0
+thunk         ``BL`` (4B)             prefix + tail ``B callee``      0
+no-LR-save    ``BL`` (4B)             sequence + ``RET``              4B
+default       ``BL`` (4B)             push LR + sequence + pop LR +   12B
+                                      ``RET`` (body contains calls,
+                                      so LR is saved in the outlined
+                                      function's own frame)
+============  ======================  ==============================  =====
+
+A candidate is profitable iff it saves at least one byte over the whole
+binary — the paper's Section IV profitability criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from repro.isa.instructions import INSTR_BYTES, MachineInstr, Opcode
+
+
+class OutlineClass(Enum):
+    TAIL_CALL = "tail-call"
+    THUNK = "thunk"
+    NO_LR_SAVE = "no-lr-save"
+    DEFAULT = "default"
+
+
+@dataclass(frozen=True)
+class CandidateCost:
+    outline_class: OutlineClass
+    #: Bytes of instructions inserted at each call site.
+    call_bytes: int
+    #: Bytes of the outlined function body.
+    outlined_fn_bytes: int
+    seq_bytes: int
+
+    def benefit(self, num_occurrences: int) -> int:
+        """Whole-binary byte saving when all occurrences are outlined."""
+        before = self.seq_bytes * num_occurrences
+        after = self.call_bytes * num_occurrences + self.outlined_fn_bytes
+        return before - after
+
+
+def classify(seq: Sequence[MachineInstr]) -> OutlineClass:
+    """Determine the outlining class of a candidate sequence."""
+    last = seq[-1]
+    calls = [i for i, instr in enumerate(seq) if instr.is_call]
+    if last.opcode is Opcode.RET:
+        return OutlineClass.TAIL_CALL
+    if last.opcode is Opcode.BL and len(calls) == 1:
+        return OutlineClass.THUNK
+    if not calls:
+        return OutlineClass.NO_LR_SAVE
+    return OutlineClass.DEFAULT
+
+
+def cost_of(seq: Sequence[MachineInstr]) -> CandidateCost:
+    seq_bytes = INSTR_BYTES * len(seq)
+    cls = classify(seq)
+    if cls is OutlineClass.TAIL_CALL:
+        return CandidateCost(cls, call_bytes=INSTR_BYTES,
+                             outlined_fn_bytes=seq_bytes, seq_bytes=seq_bytes)
+    if cls is OutlineClass.THUNK:
+        return CandidateCost(cls, call_bytes=INSTR_BYTES,
+                             outlined_fn_bytes=seq_bytes, seq_bytes=seq_bytes)
+    if cls is OutlineClass.NO_LR_SAVE:
+        return CandidateCost(cls, call_bytes=INSTR_BYTES,
+                             outlined_fn_bytes=seq_bytes + INSTR_BYTES,
+                             seq_bytes=seq_bytes)
+    return CandidateCost(cls, call_bytes=INSTR_BYTES,
+                         outlined_fn_bytes=seq_bytes + 3 * INSTR_BYTES,
+                         seq_bytes=seq_bytes)

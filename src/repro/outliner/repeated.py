@@ -1,0 +1,74 @@
+"""Repeated machine outlining (the paper's core contribution, §V-B).
+
+Instead of discarding lengthier candidates whose substrings were already
+outlined, the greedy round is simply *re-run*: the new candidates now
+contain one or more calls to already-outlined functions and are matched and
+outlined like any other instruction sequence (``BL OUTLINED_FUNCTION_N`` is
+an ordinary, internable instruction to the mapper).
+
+The externally visible knob is ``rounds`` — the paper's
+``-outline-repeat-count=<uint>`` llc flag; Uber ships 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.instructions import MachineFunction, MachineModule
+from repro.outliner.machine_outliner import RoundStats, run_one_round
+
+
+@dataclass
+class OutlineRoundStats:
+    """Cumulative statistics after each round (the shape of Table II)."""
+
+    round_no: int
+    sequences_outlined: int
+    functions_created: int
+    outlined_fn_bytes: int
+    bytes_saved: int
+    #: Per-round (non-cumulative) detail.
+    round_detail: RoundStats = None  # type: ignore[assignment]
+
+
+def repeated_outline(module: MachineModule, rounds: int = 5,
+                     collect_stats: bool = True, name_counter=None,
+                     name_prefix: str = "") -> List[OutlineRoundStats]:
+    """Run up to *rounds* outlining rounds over a whole machine module."""
+    return repeated_outline_functions(module.functions, rounds,
+                                      collect_stats, name_counter,
+                                      name_prefix)
+
+
+def repeated_outline_functions(functions: List[MachineFunction],
+                               rounds: int = 5, collect_stats: bool = True,
+                               name_counter=None,
+                               name_prefix: str = "") -> List[OutlineRoundStats]:
+    if name_counter is None:
+        name_counter = itertools.count(0)
+    cumulative: List[OutlineRoundStats] = []
+    total_seqs = 0
+    total_fns = 0
+    total_bytes = 0
+    total_saved = 0
+    for round_no in range(1, rounds + 1):
+        stats = run_one_round(functions, name_counter, round_no=round_no,
+                              name_prefix=name_prefix)
+        total_seqs += stats.sequences_outlined
+        total_fns += stats.functions_created
+        total_bytes += stats.outlined_fn_bytes
+        total_saved += stats.bytes_saved
+        if collect_stats:
+            cumulative.append(OutlineRoundStats(
+                round_no=round_no,
+                sequences_outlined=total_seqs,
+                functions_created=total_fns,
+                outlined_fn_bytes=total_bytes,
+                bytes_saved=total_saved,
+                round_detail=stats,
+            ))
+        if stats.functions_created == 0:
+            break
+    return cumulative

@@ -1,0 +1,21 @@
+"""Build pipelines (Figures 2 and 10)."""
+
+from repro.pipeline.build import (
+    BuildResult,
+    SizeReport,
+    build_lir_modules,
+    build_program,
+    frontend_to_lir,
+    run_build,
+)
+from repro.pipeline.config import BuildConfig
+
+__all__ = [
+    "BuildConfig",
+    "BuildResult",
+    "SizeReport",
+    "build_lir_modules",
+    "build_program",
+    "frontend_to_lir",
+    "run_build",
+]

@@ -1,0 +1,207 @@
+"""Build drivers for the default (Figure 2) and whole-program (Figure 10)
+iOS pipelines.
+
+``build_program`` is the main entry: source modules in, linked
+:class:`BinaryImage` out, plus the artifacts each experiment needs (LIR,
+machine modules, outlining statistics, size report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.backend.llc import LLCOptions, run_llc
+from repro.errors import ReproError
+from repro.frontend.parser import parse_module
+from repro.frontend.sema import ProgramInfo, analyze_program
+from repro.isa.instructions import MachineModule
+from repro.lir import ir as lir_ir
+from repro.lir.irgen import generate_lir
+from repro.lir.linker import LinkOptions, link_modules
+from repro.lir.passes import constprop, dce, globaldce, mem2reg, simplifycfg
+from repro.link.binary import BinaryImage
+from repro.link.linker import link_binary
+from repro.pipeline.config import BuildConfig
+from repro.runtime.objects import TypeRegistry
+from repro.sil.silgen import generate_sil
+
+SourceModules = Union[Dict[str, str], Sequence[Tuple[str, str]]]
+
+
+@dataclass
+class SizeReport:
+    text_bytes: int = 0
+    data_bytes: int = 0
+    metadata_bytes: int = 0
+    binary_bytes: int = 0
+    num_functions: int = 0
+    num_instrs: int = 0
+
+    @classmethod
+    def from_image(cls, image: BinaryImage) -> "SizeReport":
+        return cls(
+            text_bytes=image.text_bytes,
+            data_bytes=image.data_bytes,
+            metadata_bytes=image.metadata_bytes,
+            binary_bytes=image.binary_bytes,
+            num_functions=image.num_functions,
+            num_instrs=len(image.instrs),
+        )
+
+
+@dataclass
+class BuildResult:
+    image: BinaryImage
+    program: Optional[ProgramInfo]
+    registry: TypeRegistry
+    config: BuildConfig
+    machine_modules: List[MachineModule]
+    outline_stats: List[object] = field(default_factory=list)
+    #: Baseline-pass observations (Table I): pass name -> metric dict.
+    pass_reports: Dict[str, dict] = field(default_factory=dict)
+    #: Per-phase work counts for the build-time model (§VII-C).
+    phase_work: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sizes(self) -> SizeReport:
+        return SizeReport.from_image(self.image)
+
+
+def frontend_to_lir(sources: SourceModules) -> Tuple[ProgramInfo,
+                                                     List[lir_ir.LIRModule]]:
+    """Parse + sema + SILGen + IRGen + per-module -Osize cleanups."""
+    items = sources.items() if isinstance(sources, dict) else sources
+    modules = [parse_module(text, name) for name, text in items]
+    program = analyze_program(modules)
+    sil_modules = generate_sil(program)
+    lir_modules = generate_lir(sil_modules)
+    for module in lir_modules:
+        optimize_module(module)
+    return program, lir_modules
+
+
+def optimize_module(module: lir_ir.LIRModule) -> None:
+    """The standard -Osize scalar cleanup pipeline (opt analog)."""
+    mem2reg.run_on_module(module)
+    constprop.run_on_module(module)
+    dce.run_on_module(module)
+    simplifycfg.run_on_module(module)
+    constprop.run_on_module(module)
+    dce.run_on_module(module)
+
+
+def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
+                      config: BuildConfig,
+                      registry: Optional[TypeRegistry] = None,
+                      program: Optional[ProgramInfo] = None) -> BuildResult:
+    """Lower already-optimized LIR modules to a linked binary."""
+    registry = registry or (TypeRegistry.from_program(program) if program
+                            else TypeRegistry())
+    entry = None
+    for module in lir_modules:
+        if module.entry_symbol:
+            entry = module.entry_symbol
+    result = BuildResult(image=None, program=program,  # type: ignore[arg-type]
+                         registry=registry, config=config,
+                         machine_modules=[])
+    if config.pipeline == "wholeprogram":
+        merged = link_modules(
+            lir_modules,
+            LinkOptions(gc_metadata_mode=config.gc_metadata_mode,
+                        data_layout=config.data_layout))
+        if config.global_dce:
+            globaldce.run_on_module(merged)
+        if config.enable_inliner:
+            from repro.lir.passes import inliner
+
+            result.pass_reports["inliner"] = inliner.run_on_module(merged)
+            if config.global_dce:
+                globaldce.run_on_module(merged)
+        # Whole-program opt over the merged IR.
+        if config.enable_merge_functions:
+            from repro.lir.passes import mergefunctions
+
+            result.pass_reports["mergefunctions"] = (
+                mergefunctions.run_on_module(merged))
+        if config.enable_fmsa:
+            from repro.lir.passes import fmsa
+
+            result.pass_reports["fmsa"] = fmsa.run_on_module(merged)
+        constprop.run_on_module(merged)
+        dce.run_on_module(merged)
+        simplifycfg.run_on_module(merged)
+        result.phase_work["llvm-link"] = merged.num_instrs
+        result.phase_work["opt"] = merged.num_instrs
+        # llc lowers the pre-outlining program; record its work before the
+        # outliner shrinks it (the build-time model depends on this).
+        result.phase_work["llc"] = merged.num_instrs
+        llc_out = run_llc(merged, LLCOptions(
+            outline_rounds=config.outline_rounds,
+            collect_stats=config.collect_outline_stats))
+        result.machine_modules = [llc_out.module]
+        result.outline_stats = llc_out.outline_stats
+    elif config.pipeline == "default":
+        if config.enable_inliner:
+            from repro.lir.passes import inliner
+
+            for module in lir_modules:
+                inliner.run_on_module(module)
+        for module in lir_modules:
+            llc_out = run_llc(module, LLCOptions(
+                outline_rounds=config.outline_rounds,
+                collect_stats=config.collect_outline_stats,
+                outlined_name_prefix=f"{module.name}::"))
+            result.machine_modules.append(llc_out.module)
+            result.outline_stats.extend(llc_out.outline_stats)
+        result.phase_work["llc"] = sum(
+            m.num_instrs for m in result.machine_modules)
+    else:
+        raise ReproError(f"unknown pipeline {config.pipeline!r}")
+    result.image = link_binary(result.machine_modules, entry_symbol=entry,
+                               outlined_layout=config.outlined_layout)
+    result.phase_work["link"] = len(result.image.instrs)
+    return result
+
+
+def build_program(sources: SourceModules,
+                  config: Optional[BuildConfig] = None) -> BuildResult:
+    """Full build: Swiftlet sources -> linked binary image."""
+    config = config or BuildConfig()
+    program, lir_modules = _frontend_with_sil_passes(sources, config)
+    registry = TypeRegistry.from_program(program)
+    return build_lir_modules(lir_modules, config, registry=registry,
+                             program=program)
+
+
+def _frontend_with_sil_passes(sources: SourceModules,
+                              config: BuildConfig):
+    items = sources.items() if isinstance(sources, dict) else sources
+    modules = [parse_module(text, name) for name, text in items]
+    program = analyze_program(modules)
+    sil_modules = generate_sil(program)
+    if config.enable_arc_opt:
+        from repro.sil.passes import arc_opt
+
+        for sm in sil_modules:
+            arc_opt.run_on_module(sm)
+    if config.enable_sil_outlining:
+        from repro.sil.passes import outline as sil_outline
+
+        signatures = sil_outline.build_signatures(sil_modules)
+        for sm in sil_modules:
+            sil_outline.run_on_module(sm, signatures=signatures)
+    lir_modules = generate_lir(sil_modules)
+    for module in lir_modules:
+        optimize_module(module)
+    return program, lir_modules
+
+
+def run_build(result: BuildResult, timing=None, entry_symbol=None,
+              max_steps: int = 100_000_000, check_leaks: bool = True):
+    """Execute a build's binary in the interpreter."""
+    from repro.sim.cpu import run_binary
+
+    return run_binary(result.image, registry=result.registry, timing=timing,
+                      entry_symbol=entry_symbol, max_steps=max_steps,
+                      check_leaks=check_leaks)

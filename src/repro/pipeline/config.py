@@ -1,0 +1,41 @@
+"""Build configuration for the two iOS pipelines (Figures 2 and 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class BuildConfig:
+    """Options shared by the default and whole-program pipelines.
+
+    ``pipeline`` selects Figure 2 ("default": each module lowered to machine
+    code independently) or Figure 10 ("wholeprogram": LIR from every module
+    merged by llvm-link, optimized once, then lowered by a single llc run).
+    """
+
+    pipeline: str = "wholeprogram"  # "default" | "wholeprogram"
+    #: Rounds of machine outlining; 0 disables.  In the default pipeline
+    #: outlining runs per module; in the whole-program pipeline it sees the
+    #: entire program (the paper's key distinction, Figure 12).
+    outline_rounds: int = 0
+    #: llvm-link data-layout mode: "module-order" (paper's fix) or
+    #: "interleaved" (upstream behaviour causing the §VI-3 regression).
+    data_layout: str = "module-order"
+    #: llvm-link GC-metadata mode: "attributes" (fixed) or "monolithic".
+    gc_metadata_mode: str = "attributes"
+    #: Baseline size optimizations (Table I rows).
+    enable_sil_outlining: bool = False
+    enable_merge_functions: bool = False
+    enable_fmsa: bool = False
+    enable_arc_opt: bool = True
+    #: Strip functions unreachable from the entry point (app builds).
+    global_dce: bool = True
+    #: Collect per-round outlining statistics (Table II).
+    collect_outline_stats: bool = True
+    #: Text layout of outlined functions: "appended" (what the paper
+    #: shipped) or "near-callers" (the paper's future work #3).
+    outlined_layout: str = "appended"
+    #: -Osize trivial inliner at the LIR level (future work #2 interaction).
+    enable_inliner: bool = False

@@ -1,0 +1,5 @@
+"""Simulated Swift runtime: heap, refcounting, native functions, layouts."""
+
+from repro.runtime.objects import ClassLayout, Heap, TypeRegistry
+
+__all__ = ["ClassLayout", "Heap", "TypeRegistry"]

@@ -1,0 +1,187 @@
+"""Native implementations of the runtime functions.
+
+Each handler reads the AAPCS64 argument registers off the CPU, performs the
+operation against the heap, and writes the result register.  The table also
+carries a cycle cost used by the timing model (runtime functions execute
+"off to the side" like the real runtime's hand-tuned assembly).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from repro.errors import RuntimeTrap
+from repro.runtime import names
+
+
+def _fmt_double(value: float) -> str:
+    """Swift-style double printing ("2.0", "0.5", "1e-09"-free for common)."""
+    if value != value:  # NaN
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    if value == int(value) and abs(value) < 1e16:
+        return f"{int(value)}.0"
+    return repr(value)
+
+
+def _h_retain(cpu):
+    cpu.heap.retain(int(cpu.regs["x0"]))
+
+
+def _h_release(cpu):
+    cpu.heap.release(int(cpu.regs["x0"]))
+
+
+def _h_alloc_object(cpu):
+    type_id = int(cpu.regs["x0"])
+    size = int(cpu.regs["x1"])
+    cpu.regs["x0"] = cpu.heap.alloc_class(type_id, size)
+
+
+def _h_alloc_array(cpu):
+    # Convention: x0=count, x1=kind, initial in d0 (float) or x2.
+    count = int(cpu.regs["x0"])
+    kind = int(cpu.regs["x1"])
+    initial = float(cpu.regs["d0"]) if kind == 2 else int(cpu.regs["x2"])
+    cpu.regs["x0"] = cpu.heap.alloc_array(count, initial, kind)
+
+
+def _h_array_append(cpu):
+    arr = int(cpu.regs["x0"])
+    from repro.runtime import layout
+
+    word = int(cpu.memory[arr + layout.HEADER_TYPEID])
+    kind = layout.unpack_kind(word)
+    # Float payloads arrive in d0 (first float arg), others in x1.
+    value = (float(cpu.regs["d0"]) if kind == layout.ELEM_FLOAT
+             else int(cpu.regs["x1"]))
+    cpu.heap.array_append(arr, value)
+
+
+def _h_array_remove_last(cpu):
+    arr = int(cpu.regs["x0"])
+    from repro.runtime import layout
+
+    word = int(cpu.memory[arr + layout.HEADER_TYPEID])
+    kind = layout.unpack_kind(word)
+    value = cpu.heap.array_remove_last(arr)
+    if kind == layout.ELEM_FLOAT:
+        cpu.regs["d0"] = float(value)
+    else:
+        cpu.regs["x0"] = int(value)
+
+
+def _h_alloc_box(cpu):
+    cpu.regs["x0"] = cpu.heap.alloc_box(int(cpu.regs["x0"]))
+
+
+def _h_box_set_ref(cpu):
+    cpu.heap.box_set_ref(int(cpu.regs["x0"]), int(cpu.regs["x1"]))
+
+
+def _h_alloc_closure(cpu):
+    cpu.regs["x0"] = cpu.heap.alloc_closure(int(cpu.regs["x0"]),
+                                            int(cpu.regs["x1"]))
+
+
+def _h_dealloc_partial(cpu):
+    cpu.heap.dealloc_partial(int(cpu.regs["x0"]))
+
+
+def _h_string_concat(cpu):
+    a = cpu.heap.read_string(int(cpu.regs["x0"]))
+    b = cpu.heap.read_string(int(cpu.regs["x1"]))
+    cpu.regs["x0"] = cpu.heap.alloc_string(a + b)
+
+
+def _h_string_eq(cpu):
+    a = cpu.heap.read_string(int(cpu.regs["x0"]))
+    b = cpu.heap.read_string(int(cpu.regs["x1"]))
+    cpu.regs["x0"] = 1 if a == b else 0
+
+
+def _h_print_int(cpu):
+    cpu.output.append(str(int(cpu.regs["x0"])))
+
+
+def _h_print_double(cpu):
+    cpu.output.append(_fmt_double(float(cpu.regs["d0"])))
+
+
+def _h_print_bool(cpu):
+    cpu.output.append("true" if cpu.regs["x0"] else "false")
+
+
+def _h_print_string(cpu):
+    cpu.output.append(cpu.heap.read_string(int(cpu.regs["x0"])))
+
+
+def _h_abs(cpu):
+    cpu.regs["x0"] = abs(int(cpu.regs["x0"]))
+
+
+def _unary_math(fn: Callable[[float], float]):
+    def handler(cpu):
+        try:
+            cpu.regs["d0"] = fn(float(cpu.regs["d0"]))
+        except ValueError as exc:
+            raise RuntimeTrap(f"math domain error: {exc}") from exc
+    return handler
+
+
+def _h_pow(cpu):
+    cpu.regs["d0"] = float(cpu.regs["d0"]) ** float(cpu.regs["d1"])
+
+
+def _h_random(cpu):
+    # Deterministic 31-bit LCG (numerical recipes constants).
+    state = cpu.runtime_state.get("rng", 0x2545F491)
+    state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+    cpu.runtime_state["rng"] = state
+    cpu.regs["x0"] = state >> 1
+
+
+def _h_seed_random(cpu):
+    cpu.runtime_state["rng"] = int(cpu.regs["x0"]) & 0xFFFFFFFF
+
+
+def _h_stack_chk_fail(cpu):
+    raise RuntimeTrap("stack smashing detected")
+
+
+#: name -> (handler, cycle cost charged by the timing model)
+HANDLERS: Dict[str, Tuple[Callable, int]] = {
+    names.SWIFT_RETAIN: (_h_retain, 8),
+    names.SWIFT_RELEASE: (_h_release, 10),
+    names.SWIFT_ALLOC_OBJECT: (_h_alloc_object, 40),
+    names.SWIFT_ALLOC_ARRAY: (_h_alloc_array, 60),
+    names.SWIFT_ARRAY_APPEND: (_h_array_append, 14),
+    names.SWIFT_ARRAY_REMOVE_LAST: (_h_array_remove_last, 10),
+    names.SWIFT_ALLOC_BOX: (_h_alloc_box, 40),
+    names.SWIFT_BOX_SET_REF: (_h_box_set_ref, 12),
+    names.SWIFT_ALLOC_CLOSURE: (_h_alloc_closure, 40),
+    names.SWIFT_DEALLOC_PARTIAL: (_h_dealloc_partial, 20),
+    names.SWIFT_STRING_CONCAT: (_h_string_concat, 60),
+    names.SWIFT_STRING_EQ: (_h_string_eq, 30),
+    names.OBJC_RETAIN: (_h_retain, 8),
+    names.OBJC_RELEASE: (_h_release, 10),
+    names.OBJC_ALLOC: (_h_alloc_object, 40),
+    names.PRINT_INT: (_h_print_int, 200),
+    names.PRINT_DOUBLE: (_h_print_double, 200),
+    names.PRINT_BOOL: (_h_print_bool, 200),
+    names.PRINT_STRING: (_h_print_string, 200),
+    names.MATH_FUNCS["sqrt"]: (_unary_math(math.sqrt), 12),
+    names.MATH_FUNCS["exp"]: (_unary_math(math.exp), 20),
+    names.MATH_FUNCS["log"]: (_unary_math(math.log), 20),
+    names.MATH_FUNCS["pow"]: (_h_pow, 30),
+    names.MATH_FUNCS["sin"]: (_unary_math(math.sin), 20),
+    names.MATH_FUNCS["cos"]: (_unary_math(math.cos), 20),
+    names.MATH_FUNCS["floor"]: (_unary_math(math.floor), 6),
+    names.MATH_FUNCS["abs"]: (_h_abs, 2),
+    names.MATH_FUNCS["random"]: (_h_random, 15),
+    names.MATH_FUNCS["seedRandom"]: (_h_seed_random, 4),
+    names.STACK_CHK_FAIL: (_h_stack_chk_fail, 1),
+    names.OBJC_MSGSEND: (lambda cpu: None, 20),  # dispatch cost only
+}

@@ -1,0 +1,61 @@
+"""Runtime function symbols.
+
+These are the "language and runtime features related to reference counting
+and memory allocation" whose call sites dominate the paper's repeated
+patterns (Listings 1-6).  The interpreter implements each natively; the
+pattern-analysis reports show them by these names.
+"""
+
+from __future__ import annotations
+
+SWIFT_RETAIN = "swift_retain"
+SWIFT_RELEASE = "swift_release"
+SWIFT_ALLOC_OBJECT = "swift_allocObject"
+SWIFT_ALLOC_ARRAY = "swift_allocArray"
+SWIFT_ARRAY_APPEND = "swift_arrayAppend"
+SWIFT_ARRAY_REMOVE_LAST = "swift_arrayRemoveLast"
+SWIFT_ALLOC_BOX = "swift_allocBox"
+SWIFT_BOX_SET_REF = "swift_boxSetRef"
+SWIFT_ALLOC_CLOSURE = "swift_allocClosure"
+SWIFT_DEALLOC_PARTIAL = "swift_deallocPartial"
+SWIFT_STRING_CONCAT = "swift_stringConcat"
+SWIFT_STRING_EQ = "swift_stringEq"
+
+OBJC_RETAIN = "objc_retain"
+OBJC_RELEASE = "objc_release"
+OBJC_MSGSEND = "objc_msgSend"
+OBJC_ALLOC = "objc_alloc"
+
+PRINT_INT = "print_int"
+PRINT_DOUBLE = "print_double"
+PRINT_BOOL = "print_bool"
+PRINT_STRING = "print_string"
+
+MATH_FUNCS = {
+    "sqrt": "swift_sqrt",
+    "exp": "swift_exp",
+    "log": "swift_log",
+    "pow": "swift_pow",
+    "sin": "swift_sin",
+    "cos": "swift_cos",
+    "floor": "swift_floor",
+    "abs": "swift_abs",
+    "random": "swift_random",
+    "seedRandom": "swift_seedRandom",
+}
+
+#: Runtime entry points used by kernel-style corpora (§VII-E-2).
+STACK_CHK_FAIL = "__stack_chk_fail"
+
+ALL_RUNTIME_SYMBOLS = frozenset(
+    [
+        SWIFT_RETAIN, SWIFT_RELEASE, SWIFT_ALLOC_OBJECT, SWIFT_ALLOC_ARRAY,
+        SWIFT_ARRAY_APPEND, SWIFT_ARRAY_REMOVE_LAST, SWIFT_ALLOC_BOX,
+        SWIFT_BOX_SET_REF, SWIFT_ALLOC_CLOSURE, SWIFT_DEALLOC_PARTIAL,
+        SWIFT_STRING_CONCAT, SWIFT_STRING_EQ,
+        OBJC_RETAIN, OBJC_RELEASE, OBJC_MSGSEND, OBJC_ALLOC,
+        PRINT_INT, PRINT_DOUBLE, PRINT_BOOL, PRINT_STRING,
+        STACK_CHK_FAIL,
+    ]
+    + list(MATH_FUNCS.values())
+)

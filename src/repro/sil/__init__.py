@@ -1,0 +1,6 @@
+"""SIL layer: the Swift-Intermediate-Language analog (Figure 3)."""
+
+from repro.sil import sil
+from repro.sil.silgen import generate_sil
+
+__all__ = ["sil", "generate_sil"]

@@ -1,0 +1,1 @@
+"""SIL optimization passes."""

@@ -1,0 +1,57 @@
+"""ARC optimizer: remove provably redundant retain/release pairs.
+
+A conservative peephole modelled on Swift's ARC optimizer: a ``retain %v``
+followed later in the same block by ``release %v`` with only *rc-neutral*
+instructions in between (no calls, stores to ref slots, or other ARC
+traffic) cancels out — the object is demonstrably kept alive by whoever
+provided %v for the whole window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sil import sil
+
+#: Instructions that cannot observe or change any refcount.
+_RC_NEUTRAL = (
+    sil.ConstInt, sil.ConstFloat, sil.ConstNil, sil.Load, sil.BinOp,
+    sil.CmpOp, sil.NegOp, sil.NotOp, sil.Convert, sil.AllocStack,
+    sil.ArrayCount, sil.StringLen, sil.GlobalLoad, sil.FieldLoad,
+    sil.BoxGet, sil.StringIndex, sil.ArrayGet,
+)
+
+
+def run_on_function(fn: sil.SILFunction) -> int:
+    removed = 0
+    for blk in fn.blocks:
+        changed = True
+        while changed:
+            changed = False
+            for i, instr in enumerate(blk.instrs):
+                if not isinstance(instr, sil.Retain):
+                    continue
+                j = _matching_release(blk.instrs, i)
+                if j is None:
+                    continue
+                del blk.instrs[j]
+                del blk.instrs[i]
+                removed += 2
+                changed = True
+                break
+    return removed
+
+
+def _matching_release(instrs: List[sil.SILInstr], start: int):
+    value = instrs[start].value  # type: ignore[attr-defined]
+    for j in range(start + 1, len(instrs)):
+        instr = instrs[j]
+        if isinstance(instr, sil.Release) and instr.value == value:
+            return j
+        if not isinstance(instr, _RC_NEUTRAL):
+            return None
+    return None
+
+
+def run_on_module(module: sil.SILModule) -> int:
+    return sum(run_on_function(fn) for fn in module.functions)

@@ -1,0 +1,7 @@
+"""Hardware simulation: interpreter, caches, timing model."""
+
+from repro.sim.cpu import CPU, ExecutionResult, run_binary
+from repro.sim.timing import DEVICE_GRID, DeviceConfig, TimingModel
+
+__all__ = ["CPU", "ExecutionResult", "run_binary", "TimingModel",
+           "DeviceConfig", "DEVICE_GRID"]

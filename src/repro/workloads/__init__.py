@@ -1,0 +1,35 @@
+"""Experiment workloads: synthetic app, spans, corpora, 26 benchmarks."""
+
+from repro.workloads.appgen import AppSpec, generate_app, span_symbols
+from repro.workloads.corpora import (
+    clang_like_modules,
+    kernel_like_modules,
+    objc_module,
+)
+from repro.workloads.spans import (
+    OS_GRID,
+    OSVersion,
+    SpanMeasurement,
+    measure_span,
+    select_spans,
+    span_grid,
+)
+from repro.workloads.swift_benchmarks import BENCHMARK_NAMES, load_all, load_benchmark
+
+__all__ = [
+    "AppSpec",
+    "generate_app",
+    "span_symbols",
+    "clang_like_modules",
+    "kernel_like_modules",
+    "objc_module",
+    "OS_GRID",
+    "OSVersion",
+    "SpanMeasurement",
+    "measure_span",
+    "select_spans",
+    "span_grid",
+    "BENCHMARK_NAMES",
+    "load_all",
+    "load_benchmark",
+]

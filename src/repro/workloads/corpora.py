@@ -1,0 +1,216 @@
+"""Non-iOS corpora (§VII-E-2) and Objective-C-flavoured modules (§VI-2).
+
+The paper's artifact ships pre-compiled LLVM bitcode for clang 9 and the
+Android 4.19 Linux kernel.  We generate the analogous inputs directly at
+the LIR level:
+
+* :func:`kernel_like_modules` — C-style subsystems whose functions carry
+  the stack-smashing-protector prologue/epilogue ("in the Linux kernel, the
+  function epilogue to check stack smashing attack is a common repeating
+  code pattern");
+* :func:`clang_like_modules` — AST-visitor-style dispatch functions sharing
+  helper calls and calling-convention shuffles;
+* :func:`objc_module` — a clang-produced Objective-C module with
+  ``objc_retain``/``objc_release`` traffic and clang's *monolithic* GC
+  metadata word, which conflicts with Swift modules under the legacy
+  llvm-link comparison (the Section VI-2 bug).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.lir import ir
+from repro.runtime import names
+
+STACK_GUARD_SYMBOL = "__stack_chk_guard"
+
+#: clang-style monolithic GC word (compiler id 2 "clang", version 11.0).
+CLANG_GC_WORD = (2 << 16) | (11 << 8) | 0
+
+
+def _new_module(name: str, producer: str, gc_word: int) -> ir.LIRModule:
+    return ir.LIRModule(
+        name=name,
+        metadata={
+            "objc_gc": ("monolithic", gc_word),
+            "objc_gc_attrs": {"mode": "none", f"{producer}_abi": 1},
+            "producer": producer,
+        },
+    )
+
+
+def _emit_guard_prologue(fn: ir.LIRFunction, blk: ir.LIRBlock) -> ir.Value:
+    addr = fn.new_value()
+    blk.instrs.append(ir.GlobalAddr(result=addr, symbol=STACK_GUARD_SYMBOL))
+    canary = fn.new_value()
+    blk.instrs.append(ir.Load(result=canary, ptr=addr))
+    return canary
+
+
+def _emit_guard_epilogue(fn: ir.LIRFunction, blk: ir.LIRBlock,
+                         canary: ir.Value, ret_value: ir.Operand) -> None:
+    addr = fn.new_value()
+    blk.instrs.append(ir.GlobalAddr(result=addr, symbol=STACK_GUARD_SYMBOL))
+    now = fn.new_value()
+    blk.instrs.append(ir.Load(result=now, ptr=addr))
+    cond = fn.new_value()
+    blk.instrs.append(ir.Cmp(result=cond, pred="!=", lhs=canary, rhs=now))
+    blk.instrs.append(ir.CondBr(cond=cond, true_target="chk_fail",
+                                false_target="chk_ok"))
+    fail = fn.new_block("chk_fail")
+    fail.instrs.append(ir.Call(callee=names.STACK_CHK_FAIL, args=[]))
+    fail.instrs.append(ir.Trap(reason="stack"))
+    ok = fn.new_block("chk_ok")
+    ok.instrs.append(ir.Ret(value=ret_value))
+
+
+def kernel_like_modules(num_subsystems: int = 6, funcs_per_subsystem: int = 10,
+                        seed: int = 419) -> List[ir.LIRModule]:
+    """Linux-kernel-flavoured LIR with stack-protector epilogues."""
+    rng = random.Random(seed)
+    modules: List[ir.LIRModule] = []
+    # Shared guard variable + helpers live in a "core" module.
+    core = _new_module("kcore", "gcc", (3 << 16) | (9 << 8))
+    core.globals.append(ir.LIRGlobal(symbol=STACK_GUARD_SYMBOL,
+                                     init=0xDEAD4110, is_object=False,
+                                     origin_module="kcore"))
+    for helper in ("k_validate", "k_account", "k_refill"):
+        fn = ir.LIRFunction(symbol=f"kcore::{helper}", source_module="kcore",
+                            has_return_value=True)
+        p = fn.new_value()
+        fn.params = [p]
+        fn.param_is_float = [False]
+        blk = fn.new_block("entry")
+        acc = fn.new_value()
+        blk.instrs.append(ir.BinOp(result=acc, op="*", lhs=p,
+                                   rhs=ir.Const(2654435761)))
+        out = fn.new_value()
+        blk.instrs.append(ir.BinOp(result=out, op="%", lhs=acc,
+                                   rhs=ir.Const(1000003)))
+        blk.instrs.append(ir.Ret(value=out))
+        core.functions.append(fn)
+    modules.append(core)
+
+    for s in range(num_subsystems):
+        module = _new_module(f"ksub{s}", "gcc", (3 << 16) | (9 << 8))
+        for g in range(rng.randint(2, 4)):
+            module.globals.append(ir.LIRGlobal(
+                symbol=f"ksub{s}::state{g}", init=rng.randint(0, 999),
+                is_object=False, origin_module=f"ksub{s}"))
+        for f in range(funcs_per_subsystem):
+            fn = ir.LIRFunction(symbol=f"ksub{s}::op{f}",
+                                source_module=f"ksub{s}",
+                                has_return_value=True)
+            p = fn.new_value()
+            fn.params = [p]
+            fn.param_is_float = [False]
+            blk = fn.new_block("entry")
+            canary = _emit_guard_prologue(fn, blk)
+            value: ir.Operand = p
+            for step in range(rng.randint(2, 5)):
+                helper = rng.choice(["k_validate", "k_account", "k_refill"])
+                result = fn.new_value()
+                blk.instrs.append(ir.Call(result=result,
+                                          callee=f"kcore::{helper}",
+                                          args=[value]))
+                mixed = fn.new_value()
+                blk.instrs.append(ir.BinOp(result=mixed, op="+", lhs=result,
+                                           rhs=ir.Const(rng.randint(1, 64))))
+                value = mixed
+            _emit_guard_epilogue(fn, blk, canary, value)
+            module.functions.append(fn)
+        modules.append(module)
+    return modules
+
+
+def clang_like_modules(num_components: int = 6, funcs_per_component: int = 12,
+                       seed: int = 900) -> List[ir.LIRModule]:
+    """clang-compiler-flavoured LIR: visitor dispatch over node kinds."""
+    rng = random.Random(seed)
+    modules: List[ir.LIRModule] = []
+    core = _new_module("ccore", "clang", CLANG_GC_WORD)
+    for helper in ("diag_emit", "node_alloc", "sema_check", "fold_const"):
+        fn = ir.LIRFunction(symbol=f"ccore::{helper}", source_module="ccore",
+                            has_return_value=True)
+        a = fn.new_value()
+        b = fn.new_value()
+        fn.params = [a, b]
+        fn.param_is_float = [False, False]
+        blk = fn.new_block("entry")
+        t = fn.new_value()
+        blk.instrs.append(ir.BinOp(result=t, op="^", lhs=a, rhs=b))
+        u = fn.new_value()
+        blk.instrs.append(ir.BinOp(result=u, op="+", lhs=t,
+                                   rhs=ir.Const(len(helper))))
+        blk.instrs.append(ir.Ret(value=u))
+        core.functions.append(fn)
+    modules.append(core)
+
+    helpers = ["diag_emit", "node_alloc", "sema_check", "fold_const"]
+    for c in range(num_components):
+        module = _new_module(f"ccomp{c}", "clang", CLANG_GC_WORD)
+        for f in range(funcs_per_component):
+            fn = ir.LIRFunction(symbol=f"ccomp{c}::visit{f}",
+                                source_module=f"ccomp{c}",
+                                has_return_value=True)
+            node = fn.new_value()
+            kind = fn.new_value()
+            fn.params = [node, kind]
+            fn.param_is_float = [False, False]
+            entry = fn.new_block("entry")
+            # kind-dispatch chain: compare, branch, helper call per arm.
+            num_arms = rng.randint(2, 4)
+            arm_results: List[ir.Value] = []
+            cur = entry
+            for arm in range(num_arms):
+                cond = fn.new_value()
+                cur.instrs.append(ir.Cmp(result=cond, pred="==", lhs=kind,
+                                         rhs=ir.Const(arm)))
+                arm_label = f"arm{arm}"
+                next_label = f"next{arm}"
+                cur.instrs.append(ir.CondBr(cond=cond, true_target=arm_label,
+                                            false_target=next_label))
+                arm_blk = fn.new_block(arm_label)
+                helper = rng.choice(helpers)
+                result = fn.new_value()
+                arm_blk.instrs.append(ir.Call(
+                    result=result, callee=f"ccore::{helper}",
+                    args=[node, ir.Const(rng.randint(1, 99))]))
+                arm_blk.instrs.append(ir.Ret(value=result))
+                cur = fn.new_block(next_label)
+            fallback = fn.new_value()
+            cur.instrs.append(ir.Call(result=fallback,
+                                      callee="ccore::diag_emit",
+                                      args=[node, kind]))
+            cur.instrs.append(ir.Ret(value=fallback))
+            module.functions.append(fn)
+        modules.append(module)
+    return modules
+
+
+def objc_module(name: str = "ObjCBridge", num_funcs: int = 8,
+                seed: int = 77) -> ir.LIRModule:
+    """An Objective-C module as clang would produce it.
+
+    Carries clang's monolithic GC word (conflicting with Swift modules when
+    llvm-link compares whole words) and objc_retain/objc_release traffic.
+    """
+    rng = random.Random(seed)
+    module = _new_module(name, "clang", CLANG_GC_WORD)
+    for f in range(num_funcs):
+        fn = ir.LIRFunction(symbol=f"{name}::bridge{f}", source_module=name,
+                            has_return_value=True)
+        obj = fn.new_value()
+        fn.params = [obj]
+        fn.param_is_float = [False]
+        blk = fn.new_block("entry")
+        blk.instrs.append(ir.Call(callee=names.OBJC_RETAIN, args=[obj]))
+        acc = fn.new_value()
+        blk.instrs.append(ir.BinOp(result=acc, op="+", lhs=obj,
+                                   rhs=ir.Const(rng.randint(1, 32))))
+        blk.instrs.append(ir.Call(callee=names.OBJC_RELEASE, args=[obj]))
+        blk.instrs.append(ir.Ret(value=acc))
+        module.functions.append(fn)
+    return module

@@ -1,0 +1,70 @@
+"""All 26 Swiftlet algorithm benchmarks compile, run, and stay leak-free;
+outputs match known-good values (regression-pinned)."""
+
+import pytest
+
+from repro.pipeline import BuildConfig, build_program, run_build
+from repro.workloads.swift_benchmarks import BENCHMARK_NAMES, load_benchmark
+
+# Known-good outputs (pinned from the reference run; any compiler change
+# that alters these is a miscompile until proven otherwise).
+EXPECTED = {
+    "BFS": ["1620"],
+    "BoyerMooreHorspool": ["187", "1820"],
+    "BucketSort": ["1", "802429"],
+    "ClosestPair": ["248"],
+    "Combinatorics": ["527861", "477638700", "778555663", "73741816"],
+    "CountingSort": ["1", "187381"],
+    "DFS": ["765541"],
+    "EncodeAndDecodeTree": ["121", "554266", "554266"],
+    "GCD": ["210056", "196", "1260"],
+    "HashTable": ["400", "400", "-200"],
+    "Huffman": ["23", "117", "7"],
+    "JSON": ["556205", "22"],
+    "KnuthMorrisPratt": ["13", "4", "14", "120"],
+    "LCS": ["45", "4", "59"],
+    "LRUCache": ["235", "68159", "16"],
+    "OctTree": ["729", "814338"],
+    "QuickSort": ["1", "60203"],
+    "RedBlackTree": ["179", "200", "0", "7"],
+    "RunLengthEncoding": ["226", "1"],
+    "SimulatedAnnealing": ["1254"],
+    "SplayTree": ["142", "150"],
+    "StrassenMM": ["756591"],
+    "TopologicalSort": ["1", "730778"],
+    "ZAlgorithm": ["11615", "4", "8"],
+}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_runs_clean(name):
+    build = build_program({name: load_benchmark(name)},
+                          BuildConfig(outline_rounds=0))
+    run = run_build(build, max_steps=20_000_000)
+    assert run.leaked == [], name
+    if name in EXPECTED:
+        assert run.output == EXPECTED[name], name
+    else:
+        assert run.output, name
+
+
+@pytest.mark.parametrize("name", ["BFS", "QuickSort", "JSON",
+                                  "RedBlackTree", "SplayTree",
+                                  "SimulatedAnnealing"])
+def test_benchmark_outlining_equivalence(name):
+    """Representative subset: 5-round outlining preserves exact output."""
+    src = load_benchmark(name)
+    base = run_build(build_program({name: src},
+                                   BuildConfig(outline_rounds=0)),
+                     max_steps=20_000_000)
+    opt = run_build(build_program({name: src},
+                                  BuildConfig(outline_rounds=5)),
+                    max_steps=20_000_000)
+    assert base.output == opt.output, name
+    assert opt.leaked == [], name
+
+
+def test_all_names_have_sources():
+    assert len(BENCHMARK_NAMES) == 26
+    for name in BENCHMARK_NAMES:
+        assert load_benchmark(name).strip(), name

@@ -1,0 +1,98 @@
+"""CLI smoke tests (python -m repro)."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+func square(x: Int) -> Int { return x * x }
+func main() {
+    var total = 0
+    for i in 0..<6 { total += square(x: i) }
+    print(total)
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "App.sw"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run_cli(args):
+    captured = io.StringIO()
+    old = sys.stdout
+    sys.stdout = captured
+    try:
+        code = main(args)
+    finally:
+        sys.stdout = old
+    return code, captured.getvalue()
+
+
+def test_build_reports_sizes(source_file):
+    code, out = run_cli(["build", source_file, "--rounds", "3"])
+    assert code == 0
+    assert "code:" in out and "binary:" in out
+    assert "wholeprogram" in out
+
+
+def test_run_prints_program_output(source_file):
+    code, out = run_cli(["run", source_file])
+    assert code == 0
+    assert out.strip() == "55"
+
+
+def test_run_with_timing(source_file):
+    code, out = run_cli(["run", source_file, "--timing"])
+    assert code == 0
+    assert out.strip() == "55"
+
+
+def test_patterns_lists_census(source_file, tmp_path):
+    # Use a program with real repetition so patterns exist.
+    path = tmp_path / "Rep.sw"
+    path.write_text("""
+class Box { var v: Int
+    init(v: Int) { self.v = v } }
+func a(b: Box) -> Int { return b.v + 1 }
+func c(b: Box) -> Int { return b.v + 2 }
+func d(b: Box) -> Int { return b.v + 3 }
+func main() {
+    let box = Box(v: 1)
+    print(a(b: box) + c(b: box) + d(b: box))
+}
+""")
+    code, out = run_cli(["patterns", str(path), "--rounds", "0", "--top", "3"])
+    assert code == 0
+    assert "profitable patterns" in out
+
+
+def test_disasm_filters_by_function(source_file):
+    code, out = run_cli(["disasm", source_file, "--rounds", "0",
+                         "--function", "square"])
+    assert code == 0
+    assert "define @App::square" in out
+    assert "@App::main" not in out
+
+
+def test_default_pipeline_flag(source_file):
+    code, out = run_cli(["build", source_file, "--pipeline", "default",
+                         "--rounds", "1"])
+    assert code == 0
+    assert "default" in out
+
+
+def test_multiple_modules(tmp_path):
+    lib = tmp_path / "Lib.sw"
+    lib.write_text("func triple(x: Int) -> Int { return x * 3 }")
+    app = tmp_path / "Main.sw"
+    app.write_text("import Lib\nfunc main() { print(triple(x: 4)) }")
+    code, out = run_cli(["run", str(lib), str(app)])
+    assert code == 0
+    assert out.strip() == "12"

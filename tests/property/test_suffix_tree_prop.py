@@ -1,0 +1,58 @@
+"""Property tests: the suffix tree's repeated-substring enumeration exactly
+matches a naive O(n^2) scanner on arbitrary integer sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.outliner.suffix_tree import SuffixTree, naive_repeated_substrings
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=6), min_size=0,
+                max_size=80))
+def test_matches_naive_scanner(seq):
+    tree = SuffixTree(seq)
+    got = {
+        rs.substring(tree.seq): sorted(rs.starts)
+        for rs in tree.repeated_substrings(min_len=1, max_len=100)
+    }
+    want = {
+        key: sorted(starts)
+        for key, starts in naive_repeated_substrings(
+            seq, min_len=1, max_len=100).items()
+    }
+    assert got == want
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=3), min_size=2,
+                max_size=60))
+def test_occurrences_are_real(seq):
+    tree = SuffixTree(seq)
+    for rs in tree.repeated_substrings(min_len=2):
+        sub = rs.substring(tree.seq)
+        for start in rs.starts:
+            assert tuple(seq[start:start + rs.length]) == sub
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=4), min_size=0,
+                max_size=60))
+def test_min_len_respected(seq):
+    tree = SuffixTree(seq)
+    for rs in tree.repeated_substrings(min_len=3, max_len=10):
+        assert 3 <= rs.length <= 10
+
+
+def test_highly_repetitive_input():
+    seq = [1] * 200
+    tree = SuffixTree(seq)
+    subs = list(tree.repeated_substrings(min_len=2, max_len=300))
+    # every length 2..199 is a repeated substring of 1^200
+    lengths = {rs.length for rs in subs}
+    assert lengths == set(range(1, 200)) - {1} | ({1} & lengths)
+
+
+def test_no_repeats_in_distinct_sequence():
+    seq = list(range(100))
+    tree = SuffixTree(seq)
+    assert list(tree.repeated_substrings(min_len=1)) == []

@@ -1,0 +1,72 @@
+"""Synthetic app generator tests."""
+
+from repro.workloads.appgen import AppSpec, generate_app, span_symbols
+
+
+class TestDeterminism:
+    def test_same_seed_same_app(self):
+        spec = AppSpec(base_features=5, seed=7)
+        assert generate_app(spec) == generate_app(spec)
+
+    def test_different_seed_different_app(self):
+        a = generate_app(AppSpec(base_features=5, seed=7))
+        b = generate_app(AppSpec(base_features=5, seed=8))
+        assert a != b
+
+
+class TestGrowthModel:
+    def test_week_adds_modules(self):
+        spec = AppSpec(base_features=6, features_per_week=1.0)
+        week0 = generate_app(spec.at_week(0))
+        week4 = generate_app(spec.at_week(4))
+        assert len(week4) == len(week0) + 4
+
+    def test_existing_modules_stable_across_weeks(self):
+        """Incremental growth: week N+k keeps week N's feature modules
+        byte-identical except for handler additions."""
+        spec = AppSpec(base_features=6, features_per_week=1.0,
+                       handler_growth_per_week=0.0)
+        week0 = generate_app(spec.at_week(0))
+        week4 = generate_app(spec.at_week(4))
+        for name, source in week0.items():
+            if name == "Main":
+                continue  # Main grows new span calls
+            assert week4[name] == source, name
+
+    def test_handlers_grow(self):
+        spec = AppSpec(base_features=4, handler_growth_per_week=0.5)
+        assert spec.at_week(8).handlers_per_feature > \
+            spec.at_week(0).handlers_per_feature
+
+
+class TestStructure:
+    def test_expected_modules_present(self):
+        spec = AppSpec(base_features=3, num_vendors=2)
+        app = generate_app(spec)
+        assert "Base" in app and "Main" in app
+        assert "Vendor0" in app and "Vendor1" in app
+        assert "Feature0" in app and "Feature2" in app
+
+    def test_span_symbols_match_features(self):
+        spec = AppSpec(base_features=4)
+        assert span_symbols(spec) == [
+            "Feature0::m0Span", "Feature1::m1Span",
+            "Feature2::m2Span", "Feature3::m3Span",
+        ]
+
+    def test_sources_contain_key_patterns(self):
+        app = generate_app(AppSpec(base_features=3))
+        feature = app["Feature0"]
+        assert "throws" in feature, "decoder init must throw (Listing 10)"
+        assert "try src." in feature
+        assert "class M0Record" in feature
+        assert "in" in feature  # closure shape appears somewhere
+
+    def test_app_compiles_and_runs(self):
+        from repro.pipeline import build_program, run_build
+
+        app = generate_app(AppSpec(base_features=3, num_vendors=2))
+        result = build_program(app)
+        run = run_build(result)
+        assert len(run.output) == 2  # logCount + eventCount
+        assert run.leaked == []

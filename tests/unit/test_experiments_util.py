@@ -1,0 +1,86 @@
+"""Unit tests for experiment utilities and result dataclasses."""
+
+import pytest
+
+from repro.analysis.regression import linear_fit
+from repro.experiments.common import SCALES, app_spec, format_table, pct_saving
+from repro.experiments.fig1_growth import GrowthPoint, GrowthResult
+from repro.experiments.fig12_rounds import RoundsPoint, RoundsResult
+from repro.experiments.table4_benchmarks import BenchmarkRow, Table4Result
+
+
+class TestCommon:
+    def test_pct_saving(self):
+        assert pct_saving(100, 77) == pytest.approx(23.0)
+        assert pct_saving(100, 100) == 0.0
+        assert pct_saving(0, 10) == 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l.rstrip()) for l in lines[:2])) >= 1
+        assert "333" in lines[3]
+
+    def test_scales_monotone(self):
+        assert SCALES["tiny"].num_features < SCALES["small"].num_features \
+            < SCALES["medium"].num_features < SCALES["large"].num_features
+
+    def test_app_spec_week(self):
+        assert app_spec("tiny", week=10).week == 10
+
+
+class TestGrowthResult:
+    def _result(self, base_slope, opt_slope):
+        points = [
+            GrowthPoint(week=w, baseline_text=1000 + base_slope * w,
+                        optimized_text=800 + opt_slope * w)
+            for w in (0, 10, 20)
+        ]
+        xs = [p.week for p in points]
+        return GrowthResult(
+            points=points,
+            baseline_fit=linear_fit(xs, [p.baseline_text for p in points]),
+            optimized_fit=linear_fit(xs, [p.optimized_text for p in points]),
+        )
+
+    def test_slope_ratio(self):
+        result = self._result(base_slope=40, opt_slope=20)
+        assert result.slope_ratio == pytest.approx(2.0)
+
+    def test_final_saving(self):
+        result = self._result(base_slope=40, opt_slope=20)
+        last = result.points[-1]
+        expected = 100 * (1 - last.optimized_text / last.baseline_text)
+        assert result.final_saving_pct == pytest.approx(expected)
+
+
+class TestRoundsResult:
+    def test_series_and_saving(self):
+        points = [
+            RoundsPoint("wholeprogram", 0, 1000, 1500),
+            RoundsPoint("wholeprogram", 5, 770, 1200),
+            RoundsPoint("default", 0, 1000, 1500),
+            RoundsPoint("default", 5, 900, 1400),
+        ]
+        result = RoundsResult(points=points)
+        assert result.saving("wholeprogram", 5) == pytest.approx(23.0)
+        assert result.wholeprogram_beats_intra
+
+
+class TestTable4Result:
+    def test_overhead_and_average(self):
+        rows = [
+            BenchmarkRow("a", 100, 110, True),
+            BenchmarkRow("b", 200, 190, True),
+        ]
+        result = Table4Result(rows=rows, pathological=None)
+        assert rows[0].overhead_pct == pytest.approx(10.0)
+        assert rows[1].overhead_pct == pytest.approx(-5.0)
+        assert result.average_overhead_pct == pytest.approx(2.5)
+        assert result.all_outputs_match
+
+    def test_mismatch_detected(self):
+        result = Table4Result(
+            rows=[BenchmarkRow("a", 100, 100, False)], pathological=None)
+        assert not result.all_outputs_match

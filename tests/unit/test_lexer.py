@@ -1,0 +1,116 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.NEWLINE]
+
+
+def test_simple_tokens():
+    toks = tokenize("let x = 42")
+    assert [t.kind for t in toks] == [
+        TokenKind.KW_LET, TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.INT,
+        TokenKind.EOF,
+    ]
+    assert toks[3].value == 42
+
+
+def test_keywords_vs_identifiers():
+    toks = tokenize("func funcy throws throwsy")
+    assert toks[0].kind is TokenKind.KW_FUNC
+    assert toks[1].kind is TokenKind.IDENT
+    assert toks[2].kind is TokenKind.KW_THROWS
+    assert toks[3].kind is TokenKind.IDENT
+
+
+def test_float_literals():
+    toks = tokenize("1.5 0.25 2e3 1.5e-2")
+    values = [t.value for t in toks[:-1]]
+    assert values == [1.5, 0.25, 2000.0, 0.015]
+    assert all(t.kind is TokenKind.FLOAT for t in toks[:-1])
+
+
+def test_int_dot_dot_is_not_float():
+    toks = tokenize("0..<10")
+    assert toks[0].kind is TokenKind.INT
+    assert toks[1].kind is TokenKind.RANGE_HALF
+    assert toks[2].kind is TokenKind.INT
+
+
+def test_inclusive_range():
+    toks = tokenize("0...10")
+    assert toks[1].kind is TokenKind.RANGE_FULL
+
+
+def test_hex_literals():
+    toks = tokenize("0xFF 0x10")
+    assert toks[0].value == 255
+    assert toks[1].value == 16
+
+
+def test_underscore_separators():
+    assert tokenize("1_000_000")[0].value == 1000000
+
+
+def test_string_literal_escapes():
+    toks = tokenize(r'"a\nb\t\"q\""')
+    assert toks[0].value == 'a\nb\t"q"'
+
+
+def test_unterminated_string():
+    with pytest.raises(LexerError):
+        tokenize('"abc')
+
+
+def test_unknown_escape():
+    with pytest.raises(LexerError):
+        tokenize(r'"\q"')
+
+
+def test_line_comments_skipped():
+    assert kinds("x // comment\ny") == [TokenKind.IDENT, TokenKind.IDENT,
+                                        TokenKind.EOF]
+
+
+def test_block_comments_nest():
+    assert kinds("a /* x /* y */ z */ b") == [
+        TokenKind.IDENT, TokenKind.IDENT, TokenKind.EOF]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexerError):
+        tokenize("/* never closed")
+
+
+def test_two_char_operators():
+    src = "-> == != <= >= && || += -= *= /= << >>"
+    expected = [
+        TokenKind.ARROW, TokenKind.EQ, TokenKind.NE, TokenKind.LE,
+        TokenKind.GE, TokenKind.AND, TokenKind.OR, TokenKind.PLUS_ASSIGN,
+        TokenKind.MINUS_ASSIGN, TokenKind.STAR_ASSIGN, TokenKind.SLASH_ASSIGN,
+        TokenKind.SHL, TokenKind.SHR, TokenKind.EOF,
+    ]
+    assert kinds(src) == expected
+
+
+def test_newlines_collapse():
+    toks = tokenize("a\n\n\nb")
+    newlines = [t for t in toks if t.kind is TokenKind.NEWLINE]
+    assert len(newlines) == 1
+
+
+def test_positions():
+    toks = tokenize("let x =\n  42")
+    assert toks[0].line == 1 and toks[0].column == 1
+    int_tok = [t for t in toks if t.kind is TokenKind.INT][0]
+    assert int_tok.line == 2 and int_tok.column == 3
+
+
+def test_unexpected_character():
+    with pytest.raises(LexerError):
+        tokenize("let x = @")

@@ -1,0 +1,140 @@
+"""MergeFunctions and FMSA baseline pass tests (Table I machinery)."""
+
+from repro.lir import ir
+from repro.lir.passes import fmsa, mergefunctions
+
+
+def make_adder(symbol: str, constant: int) -> ir.LIRFunction:
+    fn = ir.LIRFunction(symbol=symbol, has_return_value=True)
+    p = fn.new_value()
+    fn.params = [p]
+    fn.param_is_float = [False]
+    entry = fn.new_block("entry")
+    out = fn.new_value()
+    entry.instrs.append(ir.BinOp(result=out, op="+", lhs=p,
+                                 rhs=ir.Const(constant)))
+    entry.instrs.append(ir.Ret(value=out))
+    return fn
+
+
+def make_caller(symbol: str, targets) -> ir.LIRFunction:
+    fn = ir.LIRFunction(symbol=symbol, has_return_value=True)
+    entry = fn.new_block("entry")
+    acc = ir.Const(0)
+    for target in targets:
+        r = fn.new_value()
+        entry.instrs.append(ir.Call(result=r, callee=target,
+                                    args=[ir.Const(1)]))
+        s = fn.new_value()
+        entry.instrs.append(ir.BinOp(result=s, op="+", lhs=acc, rhs=r))
+        acc = s
+    entry.instrs.append(ir.Ret(value=acc))
+    return fn
+
+
+class TestMergeFunctions:
+    def test_identical_functions_merged(self):
+        module = ir.LIRModule(name="m")
+        module.functions = [make_adder("a", 5), make_adder("b", 5),
+                            make_adder("c", 7),
+                            make_caller("main", ["a", "b", "c"])]
+        module.entry_symbol = "main"
+        report = mergefunctions.run_on_module(module)
+        assert report["functions_merged"] == 1
+        names = {fn.symbol for fn in module.functions}
+        assert "b" not in names and "a" in names and "c" in names
+        # Calls to the duplicate are redirected.
+        main = module.function("main")
+        callees = [i.callee for i in main.instructions()
+                   if isinstance(i, ir.Call)]
+        assert callees == ["a", "a", "c"]
+
+    def test_different_constants_not_merged(self):
+        module = ir.LIRModule(name="m")
+        module.functions = [make_adder("a", 5), make_adder("b", 6)]
+        report = mergefunctions.run_on_module(module)
+        assert report["functions_merged"] == 0
+
+    def test_address_taken_not_merged(self):
+        module = ir.LIRModule(name="m")
+        module.functions = [make_adder("a", 5), make_adder("b", 5)]
+        taker = ir.LIRFunction(symbol="taker", has_return_value=True)
+        entry = taker.new_block("entry")
+        fa = taker.new_value()
+        entry.instrs.append(ir.FuncAddr(result=fa, symbol="b"))
+        entry.instrs.append(ir.Ret(value=fa))
+        module.functions.append(taker)
+        report = mergefunctions.run_on_module(module)
+        assert report["functions_merged"] == 0
+
+    def test_entry_never_merged(self):
+        module = ir.LIRModule(name="m", entry_symbol="a")
+        module.functions = [make_adder("a", 5), make_adder("b", 5)]
+        mergefunctions.run_on_module(module)
+        assert any(fn.symbol == "a" for fn in module.functions)
+
+
+class TestFMSA:
+    def test_const_divergent_functions_merged(self):
+        module = ir.LIRModule(name="m")
+        module.functions = [make_adder("a", 5), make_adder("b", 9),
+                            make_caller("main", ["a", "b"])]
+        module.entry_symbol = "main"
+        report = fmsa.run_on_module(module)
+        assert report["functions_merged"] == 1
+        # One representative remains, parameterised by the constant.
+        rep = [fn for fn in module.functions if fn.symbol in ("a", "b")]
+        assert len(rep) == 1
+        assert len(rep[0].params) == 2  # original + hoisted constant
+        # Callers pass the right constants.
+        main = module.function("main")
+        calls = [i for i in main.instructions() if isinstance(i, ir.Call)]
+        passed = [c.args[-1] for c in calls]
+        assert ir.Const(5) in passed and ir.Const(9) in passed
+
+    def test_merged_function_execution_equivalent(self):
+        """End-to-end: fmsa must preserve program output."""
+        from repro.pipeline import BuildConfig, build_program, run_build
+
+        source = """
+func f1(x: Int) -> Int { return x * 3 + 10 }
+func f2(x: Int) -> Int { return x * 3 + 99 }
+func f3(x: Int) -> Int { return x * 3 + 42 }
+func main() {
+    print(f1(x: 5) + f2(x: 5) + f3(x: 5))
+}
+"""
+        plain = run_build(build_program({"M": source}, BuildConfig(
+            enable_fmsa=False)))
+        merged = run_build(build_program({"M": source}, BuildConfig(
+            enable_fmsa=True)))
+        assert plain.output == merged.output
+
+    def test_shape_mismatch_not_merged(self):
+        module = ir.LIRModule(name="m")
+        a = make_adder("a", 5)
+        b = make_adder("b", 9)
+        # Give b an extra instruction: shapes differ.
+        extra = b.new_value()
+        b.entry.instrs.insert(1, ir.BinOp(result=extra, op="*",
+                                          lhs=b.params[0], rhs=ir.Const(2)))
+        module.functions = [a, b]
+        report = fmsa.run_on_module(module)
+        assert report["functions_merged"] == 0
+
+    def test_mergefunctions_execution_equivalent(self):
+        from repro.pipeline import BuildConfig, build_program, run_build
+
+        source = """
+func dup1(x: Int) -> Int { return x * x + 1 }
+func dup2(x: Int) -> Int { return x * x + 1 }
+func main() { print(dup1(x: 3) + dup2(x: 4)) }
+"""
+        plain = run_build(build_program({"M": source}, BuildConfig(
+            enable_merge_functions=False)))
+        merged_build = build_program({"M": source}, BuildConfig(
+            enable_merge_functions=True))
+        merged = run_build(merged_build)
+        assert plain.output == merged.output == ["27"]
+        assert merged_build.pass_reports["mergefunctions"][
+            "functions_merged"] >= 1

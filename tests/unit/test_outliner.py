@@ -1,0 +1,257 @@
+"""MachineOutliner unit tests: legality, cost model, greedy round,
+repeated rounds, statistics pass."""
+
+import copy
+import itertools
+
+import pytest
+
+from repro.isa.instructions import (
+    Label,
+    MachineBlock,
+    MachineFunction,
+    MachineInstr,
+    Opcode,
+    Sym,
+)
+from repro.isa.registers import FP, LR, SP
+from repro.outliner.candidates import (
+    InstructionMapper,
+    function_saves_lr,
+    is_legal_to_outline,
+    prune_overlaps,
+)
+from repro.outliner.cost_model import OutlineClass, classify, cost_of
+from repro.outliner.machine_outliner import OUTLINED_PREFIX, run_one_round
+from repro.outliner.repeated import repeated_outline_functions
+from repro.outliner.stats import collect_patterns
+
+
+def mi(opcode, *operands, **kw):
+    return MachineInstr(opcode, tuple(operands), **kw)
+
+
+def framed_function(name, body_instrs):
+    fn = MachineFunction(name=name)
+    blk = fn.new_block("entry")
+    blk.append(mi(Opcode.STPXpre, FP, LR, SP, -16))
+    blk.instrs.extend(body_instrs)
+    blk.append(mi(Opcode.LDPXpost, FP, LR, SP, 16))
+    blk.append(mi(Opcode.RET))
+    return fn
+
+
+def seq(*ks):
+    return [mi(Opcode.ADDXri, f"x{k}", f"x{k}", k + 1) for k in ks]
+
+
+class TestLegality:
+    def test_plain_alu_legal(self):
+        assert is_legal_to_outline(mi(Opcode.ADDXri, "x1", "x1", 4))
+
+    def test_ret_is_legal_terminator(self):
+        assert is_legal_to_outline(mi(Opcode.RET))
+
+    def test_branches_illegal(self):
+        assert not is_legal_to_outline(mi(Opcode.B, Label("x")))
+        assert not is_legal_to_outline(mi(Opcode.Bcc, None, Label("x")))
+        assert not is_legal_to_outline(mi(Opcode.CBZX, "x0", Label("x")))
+
+    def test_lr_touching_illegal(self):
+        assert not is_legal_to_outline(mi(Opcode.STPXpre, FP, LR, SP, -16))
+        assert not is_legal_to_outline(
+            mi(Opcode.ORRXrs, "x0", "xzr", "x30"))
+
+    def test_sp_access_illegal(self):
+        assert not is_legal_to_outline(mi(Opcode.LDRXui, "x16", SP, 0))
+        assert not is_legal_to_outline(mi(Opcode.SUBXri, SP, SP, 32))
+
+    def test_calls_legal(self):
+        assert is_legal_to_outline(mi(Opcode.BL, Sym("f")))
+
+    def test_function_saves_lr_detection(self):
+        framed = framed_function("a", seq(1))
+        assert function_saves_lr(framed)
+        leaf = MachineFunction(name="leaf")
+        leaf.new_block("entry").append(mi(Opcode.RET))
+        assert not function_saves_lr(leaf)
+
+
+class TestMapper:
+    def test_identical_instrs_same_id(self):
+        mapper = InstructionMapper()
+        program = mapper.map_functions(
+            [framed_function("a", seq(1, 2)),
+             framed_function("b", seq(1, 2))])
+        legal = [i for i in program.ids if i > 0]
+        # Each function contributes [add1, add2, RET]: cross-function pairs
+        # must intern to the same ids.
+        assert len(legal) == 6
+        assert legal[0] == legal[3] and legal[1] == legal[4] \
+            and legal[2] == legal[5]
+
+    def test_block_boundaries_are_unique(self):
+        mapper = InstructionMapper()
+        program = mapper.map_functions([framed_function("a", seq(1))])
+        negatives = [i for i in program.ids if i < 0]
+        assert len(negatives) == len(set(negatives))
+
+    def test_call_implicits_distinguish(self):
+        a = mi(Opcode.BL, Sym("f"), implicit_uses=("x0",))
+        b = mi(Opcode.BL, Sym("f"), implicit_uses=("x0", "x1"))
+        mapper = InstructionMapper()
+        fa = MachineFunction(name="fa")
+        fa.new_block("entry").instrs.extend([a, b])
+        program = mapper.map_functions([fa])
+        assert program.ids[0] != program.ids[1]
+
+
+class TestCostModel:
+    def test_classify_tail_call(self):
+        assert classify(seq(1) + [mi(Opcode.RET)]) is OutlineClass.TAIL_CALL
+
+    def test_classify_thunk(self):
+        assert classify(seq(1) + [mi(Opcode.BL, Sym("f"))]) \
+            is OutlineClass.THUNK
+
+    def test_classify_no_lr_save(self):
+        assert classify(seq(1, 2)) is OutlineClass.NO_LR_SAVE
+
+    def test_classify_default(self):
+        s = [mi(Opcode.BL, Sym("f"))] + seq(1)
+        assert classify(s) is OutlineClass.DEFAULT
+
+    def test_benefit_math_no_lr_save(self):
+        cost = cost_of(seq(1, 2, 3))
+        # 3-instr sequence, 4 occurrences: before 4*12=48,
+        # after 4*4 (calls) + 16 (fn = seq+RET) = 32 -> benefit 16.
+        assert cost.benefit(4) == 16
+
+    def test_two_instr_two_occurrences_unprofitable(self):
+        cost = cost_of(seq(1, 2))
+        # before 2*8=16; after 2*4 + 12 = 20 -> negative.
+        assert cost.benefit(2) < 1
+
+    def test_thunk_benefit(self):
+        cost = cost_of(seq(1) + [mi(Opcode.BL, Sym("f"))])
+        # 2-instr thunk, 3 occurrences: before 24, after 3*4 + 8 = 20.
+        assert cost.benefit(3) == 4
+
+    def test_prune_overlaps(self):
+        assert prune_overlaps([0, 1, 2, 5, 6], 2) == [0, 2, 5]
+
+
+class TestRounds:
+    def test_round_outlines_repeats(self):
+        fns = [framed_function("a", seq(1, 2, 3) + seq(9)),
+               framed_function("b", seq(1, 2, 3) + seq(8)),
+               framed_function("c", seq(1, 2, 3) + seq(7))]
+        stats = run_one_round(fns, itertools.count(0))
+        assert stats.functions_created >= 1
+        outlined = [f for f in fns if f.is_outlined]
+        assert outlined
+        assert all(f.name.startswith(OUTLINED_PREFIX) for f in outlined)
+
+    def test_unprofitable_not_outlined(self):
+        fns = [framed_function("a", seq(1, 2)),
+               framed_function("b", seq(1, 2))]
+        stats = run_one_round(fns, itertools.count(0))
+        assert stats.functions_created == 0
+
+    def test_size_never_increases(self):
+        fns = [framed_function(f"f{k}", seq(1, 2, 3, 4) + seq(10 + k))
+               for k in range(6)]
+        before = sum(f.num_instrs for f in fns)
+        repeated_outline_functions(fns, rounds=5)
+        after = sum(f.num_instrs for f in fns)
+        assert after <= before
+
+    def test_rounds_monotone_decreasing_size(self):
+        base = [framed_function(f"f{k}",
+                                seq(1, 2, 3, 4) + seq(20 + k) + seq(2, 3, 4))
+                for k in range(6)]
+        sizes = []
+        for rounds in (1, 2, 3, 4):
+            fns = copy.deepcopy(base)
+            repeated_outline_functions(fns, rounds=rounds)
+            sizes.append(sum(f.num_instrs for f in fns))
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_early_stop_when_nothing_found(self):
+        fns = [framed_function("a", seq(1, 2, 3) + seq(9)),
+               framed_function("b", seq(1, 2, 3) + seq(8)),
+               framed_function("c", seq(1, 2, 3) + seq(7))]
+        stats = repeated_outline_functions(fns, rounds=10)
+        assert len(stats) < 10, "must stop early once no round finds work"
+
+    def test_name_prefix(self):
+        fns = [framed_function("a", seq(1, 2, 3) + seq(9)),
+               framed_function("b", seq(1, 2, 3) + seq(8)),
+               framed_function("c", seq(1, 2, 3) + seq(7))]
+        repeated_outline_functions(fns, rounds=1, name_prefix="Mod::")
+        outlined = [f for f in fns if f.is_outlined]
+        assert all(f.name.startswith("Mod::" + OUTLINED_PREFIX)
+                   for f in outlined)
+
+    def test_leaf_functions_only_tail_call_outlined(self):
+        # Leaf (frameless) functions keep LR live: a BL call site would
+        # clobber the return address, so only tail-call candidates apply.
+        def leaf(name, ks):
+            fn = MachineFunction(name=name)
+            blk = fn.new_block("entry")
+            blk.instrs.extend(seq(*ks))
+            blk.append(mi(Opcode.RET))
+            return fn
+
+        fns = [leaf("a", (1, 2, 3, 9)), leaf("b", (1, 2, 3, 9)),
+               leaf("c", (1, 2, 3, 9))]
+        run_one_round(fns, itertools.count(0))
+        for fn in fns:
+            if fn.is_outlined:
+                continue
+            for instr in fn.instructions():
+                assert instr.opcode is not Opcode.BL, (
+                    "leaf call sites must use tail-call B, never BL")
+
+    def test_default_class_saves_lr_in_outlined_function(self):
+        body = [mi(Opcode.BL, Sym("ext"))] + seq(1, 2, 3)
+        fns = [framed_function(f"f{k}", list(body) + seq(10 + k))
+               for k in range(5)]
+        run_one_round(fns, itertools.count(0))
+        outlined = [f for f in fns if f.is_outlined]
+        defaults = [f for f in outlined
+                    if any(i.opcode is Opcode.BL and i.callee() == "ext"
+                           for i in f.instructions())]
+        assert defaults, "the call-containing pattern should be outlined"
+        for fn in defaults:
+            instrs = list(fn.instructions())
+            assert instrs[0].opcode is Opcode.STRXpre
+            assert instrs[-2].opcode is Opcode.LDRXpost
+            assert instrs[-1].opcode is Opcode.RET
+
+
+class TestStats:
+    def test_collect_patterns_counts(self):
+        fns = [framed_function(f"f{k}", seq(1, 2, 3) + seq(30 + k))
+               for k in range(4)]
+        stats = collect_patterns(fns)
+        assert stats
+        top = stats[0]
+        assert top.num_candidates == 4
+        assert top.pattern_id == 1
+        assert top.functions  # names recorded
+
+    def test_collect_is_readonly(self):
+        fns = [framed_function(f"f{k}", seq(1, 2, 3) + seq(30 + k))
+               for k in range(4)]
+        before = sum(f.num_instrs for f in fns)
+        collect_patterns(fns)
+        assert sum(f.num_instrs for f in fns) == before
+        assert not any(f.is_outlined for f in fns)
+
+    def test_unprofitable_filtered(self):
+        fns = [framed_function("a", seq(1, 2)),
+               framed_function("b", seq(1, 2))]
+        profitable = collect_patterns(fns, require_profitable=True)
+        everything = collect_patterns(fns, require_profitable=False)
+        assert len(everything) > len(profitable)

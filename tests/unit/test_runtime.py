@@ -1,0 +1,190 @@
+"""Runtime heap and refcounting tests."""
+
+import pytest
+
+from repro.errors import RuntimeTrap
+from repro.runtime import layout
+from repro.runtime.objects import ClassLayout, Heap, TypeRegistry
+
+
+@pytest.fixture
+def heap():
+    registry = TypeRegistry()
+    registry.register(ClassLayout(type_id=16, name="Pair", num_fields=2,
+                                  ref_field_indices=[1]))
+    return Heap({}, base=0x1000, registry=registry)
+
+
+class TestAllocation:
+    def test_class_alloc_header(self, heap):
+        obj = heap.alloc_class(16, layout.object_size_for_fields(2))
+        assert heap.memory[obj + layout.HEADER_TYPEID] == 16
+        assert heap.memory[obj + layout.HEADER_RC] == 1
+        assert obj in heap.live_objects
+
+    def test_array_alloc_and_fill(self, heap):
+        arr = heap.alloc_array(3, 7, layout.ELEM_PLAIN)
+        buf = heap.memory[arr + layout.ARRAY_BUF]
+        assert heap.memory[arr + layout.ARRAY_COUNT] == 3
+        assert [heap.memory[buf + 8 * i] for i in range(3)] == [7, 7, 7]
+
+    def test_ref_array_retains_initial(self, heap):
+        obj = heap.alloc_class(16, layout.object_size_for_fields(2))
+        heap.alloc_array(4, obj, layout.ELEM_REF)
+        assert heap.memory[obj + layout.HEADER_RC] == 5  # 1 + 4 refs
+
+    def test_string_round_trip(self, heap):
+        s = heap.alloc_string("héllo")
+        assert heap.read_string(s) == "héllo"
+
+    def test_negative_count_traps(self, heap):
+        with pytest.raises(RuntimeTrap):
+            heap.alloc_array(-1, 0, layout.ELEM_PLAIN)
+
+
+class TestRefcounting:
+    def test_retain_release_balance(self, heap):
+        obj = heap.alloc_class(16, layout.object_size_for_fields(2))
+        heap.retain(obj)
+        heap.retain(obj)
+        assert heap.memory[obj + layout.HEADER_RC] == 3
+        heap.release(obj)
+        heap.release(obj)
+        assert obj in heap.live_objects
+        heap.release(obj)
+        assert obj not in heap.live_objects
+
+    def test_release_frees_children(self, heap):
+        child = heap.alloc_class(16, layout.object_size_for_fields(2))
+        parent = heap.alloc_class(16, layout.object_size_for_fields(2))
+        heap.memory[parent + layout.class_field_offset(1)] = child
+        heap.release(parent)
+        assert not heap.live_objects, "child must be freed transitively"
+
+    def test_deep_chain_release_no_recursion_limit(self, heap):
+        # 20k-deep linked chain: release must be iterative.
+        prev = 0
+        for _ in range(20000):
+            node = heap.alloc_class(16, layout.object_size_for_fields(2))
+            heap.memory[node + layout.class_field_offset(1)] = prev
+            prev = node
+        heap.release(prev)
+        assert not heap.live_objects
+
+    def test_nil_retain_release_noop(self, heap):
+        heap.retain(0)
+        heap.release(0)
+
+    def test_over_release_traps(self, heap):
+        obj = heap.alloc_class(16, layout.object_size_for_fields(2))
+        heap.release(obj)
+        with pytest.raises(RuntimeTrap):
+            heap.release(obj)
+
+    def test_use_after_free_detected(self, heap):
+        obj = heap.alloc_class(16, layout.object_size_for_fields(2))
+        heap.release(obj)
+        assert heap.memory.get(obj + layout.HEADER_RC) is None
+
+    def test_retain_garbage_traps(self, heap):
+        with pytest.raises(RuntimeTrap):
+            heap.retain(0xBAD0)
+
+    def test_immortal_ignored(self, heap):
+        heap.memory[0x50] = layout.TYPE_ID_STRING
+        heap.memory[0x58] = layout.IMMORTAL_RC
+        heap.retain(0x50)
+        heap.release(0x50)
+        assert heap.memory[0x58] == layout.IMMORTAL_RC
+
+    def test_array_of_refs_released(self, heap):
+        a = heap.alloc_class(16, layout.object_size_for_fields(2))
+        b = heap.alloc_class(16, layout.object_size_for_fields(2))
+        arr = heap.alloc_array(2, 0, layout.ELEM_REF)
+        buf = heap.memory[arr + layout.ARRAY_BUF]
+        heap.memory[buf] = a
+        heap.memory[buf + 8] = b
+        heap.release(arr)
+        assert not heap.live_objects
+
+    def test_closure_releases_captures(self, heap):
+        box = heap.alloc_box(layout.ELEM_PLAIN)
+        clo = heap.alloc_closure(fnptr=0x4000, ncaptures=1)
+        heap.memory[clo + layout.closure_capture_offset(0)] = box
+        heap.release(clo)
+        assert not heap.live_objects
+
+    def test_box_set_ref_releases_old(self, heap):
+        old = heap.alloc_class(16, layout.object_size_for_fields(2))
+        new = heap.alloc_class(16, layout.object_size_for_fields(2))
+        box = heap.alloc_box(layout.ELEM_REF)
+        heap.box_set_ref(box, old)
+        heap.box_set_ref(box, new)
+        assert old not in heap.live_objects
+        assert new in heap.live_objects
+
+    def test_dealloc_partial_skips_children(self, heap):
+        child = heap.alloc_class(16, layout.object_size_for_fields(2))
+        parent = heap.alloc_class(16, layout.object_size_for_fields(2))
+        heap.memory[parent + layout.class_field_offset(1)] = child
+        heap.dealloc_partial(parent)
+        assert child in heap.live_objects
+        heap.release(child)
+
+    def test_dealloc_partial_shared_traps(self, heap):
+        obj = heap.alloc_class(16, layout.object_size_for_fields(2))
+        heap.retain(obj)
+        with pytest.raises(RuntimeTrap):
+            heap.dealloc_partial(obj)
+
+
+class TestArrayOps:
+    def test_append_grows_capacity(self, heap):
+        arr = heap.alloc_array(0, 0, layout.ELEM_PLAIN)
+        for i in range(20):
+            heap.array_append(arr, i * 3)
+        assert heap.memory[arr + layout.ARRAY_COUNT] == 20
+        buf = heap.memory[arr + layout.ARRAY_BUF]
+        assert [heap.memory[buf + 8 * i] for i in range(20)] == \
+            [i * 3 for i in range(20)]
+
+    def test_remove_last(self, heap):
+        arr = heap.alloc_array(2, 9, layout.ELEM_PLAIN)
+        assert heap.array_remove_last(arr) == 9
+        assert heap.memory[arr + layout.ARRAY_COUNT] == 1
+
+    def test_remove_last_empty_traps(self, heap):
+        arr = heap.alloc_array(0, 0, layout.ELEM_PLAIN)
+        with pytest.raises(RuntimeTrap):
+            heap.array_remove_last(arr)
+
+    def test_old_buffer_freed_on_growth(self, heap):
+        arr = heap.alloc_array(1, 0, layout.ELEM_PLAIN)
+        old_buf = heap.memory[arr + layout.ARRAY_BUF]
+        for i in range(10):
+            heap.array_append(arr, i)
+        assert old_buf not in heap.live_buffers
+
+
+class TestTypeRegistry:
+    def test_from_program(self):
+        from repro.frontend.parser import parse_module
+        from repro.frontend.sema import analyze_program
+
+        info = analyze_program([parse_module("""
+class Node {
+    var next: Node
+    var value: Int
+    var label: String
+    init() { self.next = nil\n self.value = 0\n self.label = "x" }
+}
+""", "M")])
+        registry = TypeRegistry.from_program(info)
+        decl = info.modules[0].classes[0]
+        cls = registry.class_layout(decl.type_id)
+        assert cls.num_fields == 3
+        assert cls.ref_field_indices == [0, 2]
+
+    def test_unknown_type_traps(self):
+        with pytest.raises(RuntimeTrap):
+            TypeRegistry().class_layout(999)

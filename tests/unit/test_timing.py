@@ -1,0 +1,90 @@
+"""Cache/TLB models and the cycle timing model."""
+
+from repro.sim.caches import TLB, SetAssociativeCache
+from repro.sim.timing import DEVICE_GRID, DeviceConfig, TimingModel
+
+
+class TestCache:
+    def test_hit_after_miss(self):
+        cache = SetAssociativeCache(1024, 64, 2)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x13F)  # same 64B line
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(128, 64, 1)  # 2 sets, direct-mapped
+        assert not cache.access(0x0)
+        assert not cache.access(0x80)   # same set, evicts 0x0
+        assert not cache.access(0x0)    # miss again
+
+    def test_associativity_prevents_conflict(self):
+        cache = SetAssociativeCache(256, 64, 2)  # 2 sets, 2 ways
+        cache.access(0x0)
+        cache.access(0x80)   # same set, second way
+        assert cache.access(0x0)
+        assert cache.access(0x80)
+
+    def test_tlb_page_granularity(self):
+        tlb = TLB(entries=4, page_bytes=1024)
+        assert not tlb.access(0)
+        assert tlb.access(1023)
+        assert not tlb.access(1024)
+
+
+class TestTimingModel:
+    def test_base_cost_per_instruction(self):
+        t = TimingModel(DeviceConfig())
+        before = t.cycles
+        t.on_instr(0x1000)
+        # 1 base + miss costs on a cold machine
+        assert t.cycles > before
+
+    def test_warm_instruction_costs_one_cycle(self):
+        t = TimingModel(DeviceConfig())
+        t.on_instr(0x1000)
+        warm_before = t.cycles
+        t.on_instr(0x1000)
+        assert t.cycles == warm_before + 1
+
+    def test_text_page_fault_once(self):
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        t.on_instr(0x1000)
+        t.on_instr(0x1000 + cfg.page_bytes)
+        assert t.text_page_faults == 2
+        t.on_instr(0x1004)
+        assert t.text_page_faults == 2
+
+    def test_data_page_fault_once_per_page(self):
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        t.on_data_access(0x9000)
+        t.on_data_access(0x9008)
+        t.on_data_access(0x9000 + cfg.page_bytes)
+        assert t.data_page_faults == 2
+
+    def test_conditional_branch_mispredict_then_learn(self):
+        t = TimingModel(DeviceConfig())
+        t.on_taken_branch(0x100, 0x200)
+        assert t.mispredicts == 1
+        t.on_taken_branch(0x100, 0x200)
+        assert t.mispredicts == 1
+        t.on_taken_branch(0x100, 0x300)
+        assert t.mispredicts == 2
+
+    def test_unconditional_branch_never_mispredicts(self):
+        t = TimingModel(DeviceConfig())
+        t.on_uncond_branch(0x100, 0x200)
+        t.on_uncond_branch(0x100, 0x300)
+        assert t.mispredicts == 0
+
+    def test_native_call_cost(self):
+        t = TimingModel(DeviceConfig())
+        t.on_native_call(40)
+        assert t.cycles == 40
+
+    def test_device_grid_ordered_by_capability(self):
+        oldest, newest = DEVICE_GRID[0], DEVICE_GRID[-1]
+        assert oldest.icache_bytes < newest.icache_bytes
+        assert oldest.data_page_fault_cycles > newest.data_page_fault_cycles

@@ -1,0 +1,84 @@
+"""Swiftlet type-system unit tests."""
+
+from repro.frontend.types import (
+    BOOL,
+    DOUBLE,
+    INT,
+    NIL,
+    STRING,
+    VOID,
+    ArrayType,
+    ClassType,
+    FuncType,
+    assignable,
+    element_size_bytes,
+)
+
+
+class TestIdentity:
+    def test_singletons_equal(self):
+        assert INT == INT and DOUBLE == DOUBLE
+        assert INT != DOUBLE and BOOL != INT
+
+    def test_array_structural_equality(self):
+        assert ArrayType(INT) == ArrayType(INT)
+        assert ArrayType(INT) != ArrayType(DOUBLE)
+        assert ArrayType(ArrayType(INT)) == ArrayType(ArrayType(INT))
+
+    def test_class_nominal_equality(self):
+        assert ClassType("M::A") == ClassType("M::A")
+        assert ClassType("M::A") != ClassType("N::A")
+        assert ClassType("M::A").name == "A"
+
+    def test_func_type_equality(self):
+        assert FuncType((INT,), BOOL) == FuncType((INT,), BOOL)
+        assert FuncType((INT,), BOOL) != FuncType((INT,), BOOL, throws=True)
+
+
+class TestRefness:
+    def test_value_types(self):
+        for ty in (INT, DOUBLE, BOOL, VOID):
+            assert not ty.is_ref()
+
+    def test_reference_types(self):
+        for ty in (STRING, ArrayType(INT), ClassType("M::A"),
+                   FuncType((), VOID)):
+            assert ty.is_ref()
+
+    def test_numeric(self):
+        assert INT.is_numeric() and DOUBLE.is_numeric()
+        assert not BOOL.is_numeric()
+
+
+class TestAssignability:
+    def test_exact_match(self):
+        assert assignable(INT, INT)
+        assert not assignable(INT, DOUBLE)
+
+    def test_nil_to_refs_only(self):
+        assert assignable(ClassType("M::A"), NIL)
+        assert assignable(ArrayType(INT), NIL)
+        assert assignable(STRING, NIL)
+        assert not assignable(INT, NIL)
+
+    def test_nonthrowing_closure_to_throwing_slot(self):
+        plain = FuncType((INT,), INT, throws=False)
+        throwing = FuncType((INT,), INT, throws=True)
+        assert assignable(throwing, plain)
+        assert not assignable(plain, throwing)
+
+    def test_param_mismatch(self):
+        assert not assignable(FuncType((INT,), INT),
+                              FuncType((DOUBLE,), INT))
+
+
+class TestDisplay:
+    def test_str_forms(self):
+        assert str(ArrayType(INT)) == "[Int]"
+        assert str(ClassType("M::Node")) == "Node"
+        assert str(FuncType((INT, BOOL), VOID)) == "(Int, Bool) -> Void"
+        assert "throws" in str(FuncType((), INT, throws=True))
+
+    def test_uniform_word_size(self):
+        for ty in (INT, DOUBLE, STRING, ArrayType(INT)):
+            assert element_size_bytes(ty) == 8
