@@ -32,7 +32,10 @@ def _build(args):
 
     config = BuildConfig(pipeline=args.pipeline,
                          outline_rounds=args.rounds,
-                         data_layout=args.data_layout)
+                         data_layout=args.data_layout,
+                         workers=args.workers,
+                         incremental=args.incremental,
+                         cache_dir=args.cache_dir)
     return build_program(_load_sources(args.sources), config), config
 
 
@@ -47,6 +50,8 @@ def cmd_build(args) -> int:
         print(f"  round {stat.round_no}: {stat.sequences_outlined} sequences "
               f"-> {stat.functions_created} outlined functions, "
               f"{stat.bytes_saved} bytes saved (cumulative)")
+    for line in result.report.summary_lines():
+        print(line)
     return 0
 
 
@@ -133,6 +138,14 @@ def _add_build_args(parser) -> None:
                         choices=("wholeprogram", "default"))
     parser.add_argument("--data-layout", default="module-order",
                         choices=("module-order", "interleaved"))
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for per-module compilation "
+                             "(1 = serial, 0 = one per core)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="reuse the content-addressed build cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache location (default: $REPRO_CACHE_DIR "
+                             "or a tempdir)")
 
 
 def main(argv=None) -> int:

@@ -42,6 +42,13 @@ class BuildTimePoint:
     rounds: int
     minutes: float
     phase_minutes: Dict[str, float]
+    #: Measured host seconds per phase (from ``BuildResult.report``) — the
+    #: *real* cost next to the modeled minutes.
+    measured_seconds: Dict[str, float] = None  # type: ignore[assignment]
+
+    @property
+    def total_measured_seconds(self) -> float:
+        return sum((self.measured_seconds or {}).values())
 
 
 @dataclass
@@ -84,7 +91,8 @@ def run(scale: str = "small", week: int = 0,
         configuration="default", rounds=1,
         minutes=_FRONTEND_MIN_PER_INSTR * default_work / unit,
         phase_minutes={"per-module compile":
-                       _FRONTEND_MIN_PER_INSTR * default_work / unit}))
+                       _FRONTEND_MIN_PER_INSTR * default_work / unit},
+        measured_seconds=dict(default_build.report.phase_wall)))
 
     for rounds in rounds_grid:
         build = build_app(spec, BuildConfig(pipeline="wholeprogram",
@@ -116,7 +124,8 @@ def run(scale: str = "small", week: int = 0,
         phases["outlining"] = outline_minutes
         points.append(BuildTimePoint(
             configuration="wholeprogram", rounds=rounds,
-            minutes=sum(phases.values()), phase_minutes=phases))
+            minutes=sum(phases.values()), phase_minutes=phases,
+            measured_seconds=dict(build.report.phase_wall)))
     return BuildTimeResult(points=points)
 
 
@@ -124,12 +133,25 @@ def format_report(result: BuildTimeResult) -> str:
     rows = []
     for p in result.points:
         detail = ", ".join(f"{k} {v:.1f}" for k, v in p.phase_minutes.items())
-        rows.append((p.configuration, p.rounds, f"{p.minutes:.1f}", detail))
+        rows.append((p.configuration, p.rounds, f"{p.minutes:.1f}",
+                     f"{p.total_measured_seconds:.2f}", detail))
     table = format_table(
-        ["pipeline", "rounds", "model minutes", "phase breakdown"], rows)
+        ["pipeline", "rounds", "model minutes", "real seconds",
+         "model phase breakdown"], rows)
+    measured = next((p for p in result.points
+                     if p.configuration == "wholeprogram"
+                     and p.measured_seconds), None)
+    real_detail = ""
+    if measured:
+        real_detail = (
+            "real phases (rounds={}): {}\n".format(
+                measured.rounds,
+                ", ".join(f"{k} {v:.2f}s"
+                          for k, v in measured.measured_seconds.items())))
     return (
-        "Section VII-C: build-time model (synthetic minutes)\n"
-        f"{table}\n"
+        "Section VII-C: build-time model (synthetic minutes) "
+        "vs measured host seconds\n"
+        f"{table}\n{real_detail}"
         "calibration targets: default 21 min; whole-program +outlining "
         "rounds 53/60/62/... min; five rounds ~66 min\n"
         f"per-round extra time diminishes: {result.round_cost_diminishes}"

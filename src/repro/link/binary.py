@@ -83,6 +83,29 @@ class BinaryImage:
     def num_functions(self) -> int:
         return len(self.functions)
 
+    # -- canonical serialization (determinism harness) -----------------------
+
+    def text_section(self) -> bytes:
+        """Canonical byte serialization of ``__text``.
+
+        One record per instruction: its rendered form plus the resolved
+        branch/symbol addresses.  Two images with equal text sections decode
+        and execute identically; the determinism tests compare these bytes
+        across serial/parallel/cached builds.
+        """
+        lines = []
+        for i, instr in enumerate(self.instrs):
+            target = self.resolved_target.get(i, -1)
+            sym = self.resolved_sym.get(i, -1)
+            lines.append(f"{instr.render()}|{target}|{sym}")
+        return "\n".join(lines).encode("utf-8")
+
+    def data_section(self) -> bytes:
+        """Canonical byte serialization of ``__data`` (address -> value)."""
+        items = ";".join(f"{addr}:{value!r}"
+                         for addr, value in sorted(self.data_init.items()))
+        return f"{self.data_base}..{self.data_end}|{items}".encode("utf-8")
+
     # -- lookup helpers --------------------------------------------------------
 
     def addr_of_index(self, index: int) -> int:

@@ -1,4 +1,4 @@
-"""Build pipelines (Figures 2 and 10)."""
+"""Build pipelines (Figures 2 and 10), incremental and parallel."""
 
 from repro.pipeline.build import (
     BuildResult,
@@ -8,11 +8,16 @@ from repro.pipeline.build import (
     frontend_to_lir,
     run_build,
 )
+from repro.pipeline.cache import PIPELINE_CACHE_VERSION, ModuleCache
 from repro.pipeline.config import BuildConfig
+from repro.pipeline.report import BuildReport
 
 __all__ = [
     "BuildConfig",
+    "BuildReport",
     "BuildResult",
+    "ModuleCache",
+    "PIPELINE_CACHE_VERSION",
     "SizeReport",
     "build_lir_modules",
     "build_program",

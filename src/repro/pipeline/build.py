@@ -4,6 +4,20 @@ iOS pipelines.
 ``build_program`` is the main entry: source modules in, linked
 :class:`BinaryImage` out, plus the artifacts each experiment needs (LIR,
 machine modules, outlining statistics, size report).
+
+The driver is incremental and parallel (§VII-C is about exactly this cost):
+
+* with ``BuildConfig.incremental`` it consults a content-addressed cache
+  (:mod:`repro.pipeline.cache`) at two levels — per-module optimized LIR
+  and the fully linked image — so rebuilding an unchanged program skips
+  everything after source hashing;
+* with ``BuildConfig.workers > 1`` per-module lowering (SIL -> LIR, and
+  per-module llc in the default pipeline) fans out across forked worker
+  processes (:mod:`repro.pipeline.parallel`).
+
+Both features are required to be **bit-identical** to a cold serial build
+(same image bytes, same outlining statistics); the determinism test
+harness under ``tests/property`` enforces it.
 """
 
 from __future__ import annotations
@@ -17,13 +31,17 @@ from repro.frontend.parser import parse_module
 from repro.frontend.sema import ProgramInfo, analyze_program
 from repro.isa.instructions import MachineModule
 from repro.lir import ir as lir_ir
-from repro.lir.irgen import generate_lir
+from repro.lir.irgen import ModuleIRGen, generate_lir
 from repro.lir.linker import LinkOptions, link_modules
 from repro.lir.passes import constprop, dce, globaldce, mem2reg, simplifycfg
 from repro.link.binary import BinaryImage
 from repro.link.linker import link_binary
+from repro.pipeline import cache as cache_mod
+from repro.pipeline import parallel
+from repro.pipeline.cache import ModuleCache
 from repro.pipeline.config import BuildConfig
-from repro.runtime.objects import TypeRegistry
+from repro.pipeline.report import BuildReport
+from repro.runtime.objects import ClassLayout, TypeRegistry
 from repro.sil.silgen import generate_sil
 
 SourceModules = Union[Dict[str, str], Sequence[Tuple[str, str]]]
@@ -62,10 +80,17 @@ class BuildResult:
     pass_reports: Dict[str, dict] = field(default_factory=dict)
     #: Per-phase work counts for the build-time model (§VII-C).
     phase_work: Dict[str, int] = field(default_factory=dict)
+    #: Measured phase wall times + cache/parallel telemetry.
+    report: BuildReport = field(default_factory=BuildReport)
+    _sizes: Optional[SizeReport] = field(default=None, init=False,
+                                         repr=False, compare=False)
 
     @property
     def sizes(self) -> SizeReport:
-        return SizeReport.from_image(self.image)
+        # The image is immutable once linked; compute the report once.
+        if self._sizes is None:
+            self._sizes = SizeReport.from_image(self.image)
+        return self._sizes
 
 
 def frontend_to_lir(sources: SourceModules) -> Tuple[ProgramInfo,
@@ -94,92 +119,125 @@ def optimize_module(module: lir_ir.LIRModule) -> None:
 def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
                       config: BuildConfig,
                       registry: Optional[TypeRegistry] = None,
-                      program: Optional[ProgramInfo] = None) -> BuildResult:
+                      program: Optional[ProgramInfo] = None,
+                      report: Optional[BuildReport] = None) -> BuildResult:
     """Lower already-optimized LIR modules to a linked binary."""
     registry = registry or (TypeRegistry.from_program(program) if program
                             else TypeRegistry())
+    report = report if report is not None else BuildReport(
+        num_modules=len(lir_modules))
     entry = None
     for module in lir_modules:
         if module.entry_symbol:
             entry = module.entry_symbol
     result = BuildResult(image=None, program=program,  # type: ignore[arg-type]
                          registry=registry, config=config,
-                         machine_modules=[])
+                         machine_modules=[], report=report)
     if config.pipeline == "wholeprogram":
-        merged = link_modules(
-            lir_modules,
-            LinkOptions(gc_metadata_mode=config.gc_metadata_mode,
-                        data_layout=config.data_layout))
-        if config.global_dce:
-            globaldce.run_on_module(merged)
-        if config.enable_inliner:
-            from repro.lir.passes import inliner
-
-            result.pass_reports["inliner"] = inliner.run_on_module(merged)
+        with report.phase("llvm-link"):
+            merged = link_modules(
+                lir_modules,
+                LinkOptions(gc_metadata_mode=config.gc_metadata_mode,
+                            data_layout=config.data_layout))
+        with report.phase("opt"):
             if config.global_dce:
                 globaldce.run_on_module(merged)
-        # Whole-program opt over the merged IR.
-        if config.enable_merge_functions:
-            from repro.lir.passes import mergefunctions
+            if config.enable_inliner:
+                from repro.lir.passes import inliner
 
-            result.pass_reports["mergefunctions"] = (
-                mergefunctions.run_on_module(merged))
-        if config.enable_fmsa:
-            from repro.lir.passes import fmsa
+                result.pass_reports["inliner"] = inliner.run_on_module(merged)
+                if config.global_dce:
+                    globaldce.run_on_module(merged)
+            # Whole-program opt over the merged IR.
+            if config.enable_merge_functions:
+                from repro.lir.passes import mergefunctions
 
-            result.pass_reports["fmsa"] = fmsa.run_on_module(merged)
-        constprop.run_on_module(merged)
-        dce.run_on_module(merged)
-        simplifycfg.run_on_module(merged)
+                result.pass_reports["mergefunctions"] = (
+                    mergefunctions.run_on_module(merged))
+            if config.enable_fmsa:
+                from repro.lir.passes import fmsa
+
+                result.pass_reports["fmsa"] = fmsa.run_on_module(merged)
+            constprop.run_on_module(merged)
+            dce.run_on_module(merged)
+            simplifycfg.run_on_module(merged)
         result.phase_work["llvm-link"] = merged.num_instrs
         result.phase_work["opt"] = merged.num_instrs
         # llc lowers the pre-outlining program; record its work before the
         # outliner shrinks it (the build-time model depends on this).
         result.phase_work["llc"] = merged.num_instrs
-        llc_out = run_llc(merged, LLCOptions(
-            outline_rounds=config.outline_rounds,
-            collect_stats=config.collect_outline_stats))
+        with report.phase("llc"):
+            llc_out = run_llc(merged, LLCOptions(
+                outline_rounds=config.outline_rounds,
+                collect_stats=config.collect_outline_stats))
         result.machine_modules = [llc_out.module]
         result.outline_stats = llc_out.outline_stats
     elif config.pipeline == "default":
         if config.enable_inliner:
             from repro.lir.passes import inliner
 
-            for module in lir_modules:
-                inliner.run_on_module(module)
-        for module in lir_modules:
-            llc_out = run_llc(module, LLCOptions(
-                outline_rounds=config.outline_rounds,
-                collect_stats=config.collect_outline_stats,
-                outlined_name_prefix=f"{module.name}::"))
-            result.machine_modules.append(llc_out.module)
-            result.outline_stats.extend(llc_out.outline_stats)
+            with report.phase("opt"):
+                for module in lir_modules:
+                    inliner.run_on_module(module)
+        with report.phase("llc"):
+            workers = parallel.resolve_workers(config.workers)
+            outputs = parallel.llc_modules(
+                lir_modules, config.outline_rounds,
+                config.collect_outline_stats, workers)
+            if outputs is None:
+                if workers > 1:
+                    report.note("parallel llc fell back to serial")
+                outputs = [run_llc(module, LLCOptions(
+                    outline_rounds=config.outline_rounds,
+                    collect_stats=config.collect_outline_stats,
+                    outlined_name_prefix=f"{module.name}::"))
+                    for module in lir_modules]
+            for llc_out in outputs:
+                result.machine_modules.append(llc_out.module)
+                result.outline_stats.extend(llc_out.outline_stats)
         result.phase_work["llc"] = sum(
             m.num_instrs for m in result.machine_modules)
     else:
         raise ReproError(f"unknown pipeline {config.pipeline!r}")
-    result.image = link_binary(result.machine_modules, entry_symbol=entry,
-                               outlined_layout=config.outlined_layout)
+    with report.phase("link"):
+        result.image = link_binary(result.machine_modules, entry_symbol=entry,
+                                   outlined_layout=config.outlined_layout)
     result.phase_work["link"] = len(result.image.instrs)
     return result
 
 
-def build_program(sources: SourceModules,
-                  config: Optional[BuildConfig] = None) -> BuildResult:
-    """Full build: Swiftlet sources -> linked binary image."""
-    config = config or BuildConfig()
-    program, lir_modules = _frontend_with_sil_passes(sources, config)
-    registry = TypeRegistry.from_program(program)
-    return build_lir_modules(lir_modules, config, registry=registry,
-                             program=program)
+# --- cached / parallel frontend ----------------------------------------------
 
 
-def _frontend_with_sil_passes(sources: SourceModules,
-                              config: BuildConfig):
-    items = sources.items() if isinstance(sources, dict) else sources
-    modules = [parse_module(text, name) for name, text in items]
-    program = analyze_program(modules)
-    sil_modules = generate_sil(program)
+@dataclass
+class _FrontendOutput:
+    lir_modules: List[lir_ir.LIRModule]
+    program: Optional[ProgramInfo]
+    registry: TypeRegistry
+    #: Per-module cache keys (None when caching is off).
+    module_keys: Optional[List[str]] = None
+
+
+def _module_layouts(program: ProgramInfo) -> Dict[str, List[ClassLayout]]:
+    """Class layouts grouped by defining module (cache payload)."""
+    grouped: Dict[str, List[ClassLayout]] = {}
+    for info in program.classes_by_qualified_name.values():
+        decl = info.decl
+        refs = [f.index for f in decl.fields if f.ty.is_ref()]
+        grouped.setdefault(info.module, []).append(
+            ClassLayout(type_id=decl.type_id, name=decl.qualified_name,
+                        num_fields=len(decl.fields),
+                        ref_field_indices=refs))
+    return grouped
+
+
+def _valid_module_entry(entry: object) -> bool:
+    return (isinstance(entry, dict)
+            and isinstance(entry.get("lir"), lir_ir.LIRModule)
+            and isinstance(entry.get("layouts"), list))
+
+
+def _apply_sil_passes(sil_modules, config: BuildConfig) -> None:
     if config.enable_arc_opt:
         from repro.sil.passes import arc_opt
 
@@ -191,10 +249,147 @@ def _frontend_with_sil_passes(sources: SourceModules,
         signatures = sil_outline.build_signatures(sil_modules)
         for sm in sil_modules:
             sil_outline.run_on_module(sm, signatures=signatures)
-    lir_modules = generate_lir(sil_modules)
-    for module in lir_modules:
-        optimize_module(module)
-    return program, lir_modules
+
+
+def _frontend(items: List[Tuple[str, str]], config: BuildConfig,
+              cache: Optional[ModuleCache],
+              report: BuildReport) -> _FrontendOutput:
+    """Sources -> optimized per-module LIR, using the cache and workers."""
+    names = [name for name, _ in items]
+    parsed: Dict[str, object] = {}
+    keys: Optional[List[str]] = None
+    cached: Dict[str, dict] = {}
+
+    if cache is not None:
+        metas: Dict[str, cache_mod.ModuleMeta] = {}
+        hashes = {name: cache_mod.fingerprint_source(text)
+                  for name, text in items}
+        with report.phase("cache-probe"):
+            for name, text in items:
+                meta = cache.load(cache_mod.meta_key(hashes[name]))
+                if not isinstance(meta, cache_mod.ModuleMeta):
+                    parsed[name] = parse_module(text, name)
+                    meta = cache_mod.meta_from_ast(parsed[name])
+                    cache.store(cache_mod.meta_key(hashes[name]), meta)
+                metas[name] = meta
+            keys = cache_mod.module_keys(
+                items, hashes, metas, config.frontend_fingerprint(),
+                whole_program_coupling=config.enable_sil_outlining)
+            for name, key in zip(names, keys):
+                entry = cache.load(key)
+                if _valid_module_entry(entry):
+                    cached[name] = entry  # type: ignore[assignment]
+        report.cache_hits = len(cached)
+        report.cache_misses = len(names) - len(cached)
+
+    misses = [name for name in names if name not in cached]
+    if cache is not None and not misses:
+        # Every module hit: reassemble the registry from the cached class
+        # layouts and skip parse/sema/SILGen entirely.
+        registry = TypeRegistry()
+        lir_modules = []
+        for name in names:
+            entry = cached[name]
+            for layout in entry["layouts"]:
+                registry.register(layout)
+            lir_modules.append(entry["lir"])
+        return _FrontendOutput(lir_modules=lir_modules, program=None,
+                               registry=registry, module_keys=keys)
+
+    # At least one module must be compiled: whole-program sema is required
+    # (type ids and closure numbering span modules), and SILGen runs on all
+    # modules exactly as in a cold build so a partially-warm build cannot
+    # diverge from it.
+    with report.phase("parse"):
+        for name, text in items:
+            if name not in parsed:
+                parsed[name] = parse_module(text, name)
+    with report.phase("sema"):
+        program = analyze_program([parsed[name] for name in names])
+    with report.phase("silgen"):
+        sil_modules = generate_sil(program)
+        _apply_sil_passes(sil_modules, config)
+    with report.phase("lower"):
+        signatures = {fn.symbol: fn
+                      for sm in sil_modules for fn in sm.functions}
+        sil_by_name = {sm.name: sm for sm in sil_modules}
+        workers = parallel.resolve_workers(config.workers)
+        lowered = None
+        if workers > 1 and len(misses) > 1:
+            lowered = parallel.lower_modules(sil_by_name, signatures,
+                                             misses, workers)
+            if lowered is None:
+                report.note("parallel frontend fell back to serial")
+        if lowered is None:
+            lowered = {}
+            for name in misses:
+                module = ModuleIRGen(sil_by_name[name], signatures).run()
+                optimize_module(module)
+                lowered[name] = module
+
+    if cache is not None and keys is not None:
+        with report.phase("cache-store"):
+            layouts = _module_layouts(program)
+            for name, key in zip(names, keys):
+                if name in lowered:
+                    cache.store(key, {"lir": lowered[name],
+                                      "layouts": layouts.get(name, [])})
+        report.cache_stores = cache.stats.stores
+
+    lir_modules = [cached[name]["lir"] if name in cached else lowered[name]
+                   for name in names]
+    return _FrontendOutput(lir_modules=lir_modules, program=program,
+                           registry=TypeRegistry.from_program(program),
+                           module_keys=keys)
+
+
+def _valid_image_entry(entry: object) -> bool:
+    return (isinstance(entry, dict)
+            and isinstance(entry.get("image"), BinaryImage)
+            and isinstance(entry.get("machine_modules"), list))
+
+
+def build_program(sources: SourceModules,
+                  config: Optional[BuildConfig] = None) -> BuildResult:
+    """Full build: Swiftlet sources -> linked binary image."""
+    config = config or BuildConfig()
+    items = (list(sources.items()) if isinstance(sources, dict)
+             else [(name, text) for name, text in sources])
+    report = BuildReport(num_modules=len(items),
+                         workers=parallel.resolve_workers(config.workers),
+                         cache_enabled=config.incremental)
+    cache = ModuleCache(config.cache_dir) if config.incremental else None
+
+    fe = _frontend(items, config, cache, report)
+
+    img_key = None
+    if cache is not None and fe.module_keys is not None:
+        img_key = cache_mod.image_key(fe.module_keys,
+                                      config.backend_fingerprint())
+        entry = cache.load(img_key)
+        if _valid_image_entry(entry):
+            report.image_cache_hit = True
+            return BuildResult(image=entry["image"], program=fe.program,
+                               registry=fe.registry, config=config,
+                               machine_modules=entry["machine_modules"],
+                               outline_stats=entry.get("outline_stats", []),
+                               pass_reports=entry.get("pass_reports", {}),
+                               phase_work=entry.get("phase_work", {}),
+                               report=report)
+
+    result = build_lir_modules(fe.lir_modules, config, registry=fe.registry,
+                               program=fe.program, report=report)
+    if cache is not None and img_key is not None:
+        with report.phase("cache-store"):
+            cache.store(img_key, {
+                "image": result.image,
+                "machine_modules": result.machine_modules,
+                "outline_stats": result.outline_stats,
+                "pass_reports": result.pass_reports,
+                "phase_work": result.phase_work,
+            })
+        report.cache_stores = cache.stats.stores
+    return result
 
 
 def run_build(result: BuildResult, timing=None, entry_symbol=None,

@@ -1,0 +1,232 @@
+"""Content-addressed build cache for the pipeline.
+
+Two artifact levels, both keyed by stable content hashes so that any change
+to an input produces a different key (never a stale hit):
+
+* **Module LIR** — one entry per source module holding its optimized
+  :class:`~repro.lir.ir.LIRModule` plus the class layouts sema assigned to
+  it.  Because Swiftlet sema numbers class type-ids and closure symbols
+  *program-wide* (in module order), a module's generated code depends on
+  more than its own text; the key therefore covers
+
+  - the module's source text,
+  - the sources of its transitive imports (headers, folded constants),
+  - the type-id/closure-counter bases contributed by every earlier module,
+  - the :class:`BuildConfig` fields that affect frontend codegen, and
+  - :data:`PIPELINE_CACHE_VERSION`.
+
+* **Linked image** — the fully linked :class:`BinaryImage` (plus machine
+  modules, outlining stats and the type registry), keyed by the ordered
+  module keys and the backend config fields.  A warm rebuild of an
+  unchanged program under an unchanged config deserializes the image and
+  skips every compilation phase.
+
+Entries are pickles under ``cache_dir/objects/<k[:2]>/<k>.pkl`` written
+atomically; a corrupted or truncated entry is treated as a miss and
+deleted, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field, is_dataclass, fields as dc_fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend import ast
+
+#: Bump whenever codegen output can change (invalidates every entry).
+PIPELINE_CACHE_VERSION = "1"
+
+
+def fingerprint_source(text: str) -> str:
+    """Stable content hash of one module's source text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+# --- module metadata (what a module contributes to global counters) ---------
+
+
+@dataclass(frozen=True)
+class ModuleMeta:
+    """Syntactic facts needed to compute another module's cache key."""
+
+    imports: Tuple[str, ...]
+    class_count: int
+    closure_count: int
+
+
+def count_closures(node: object) -> int:
+    """Number of ``ClosureExpr`` nodes in an AST subtree.
+
+    Sema numbers closures with one program-wide counter in visit order; the
+    *count* per module is all a later module's key needs.
+    """
+    count = 0
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (list, tuple)):
+            stack.extend(item)
+            continue
+        if not is_dataclass(item) or isinstance(item, type):
+            continue
+        if isinstance(item, ast.ClosureExpr):
+            count += 1
+        for f in dc_fields(item):
+            value = getattr(item, f.name, None)
+            if isinstance(value, (ast.Node, list, tuple)):
+                stack.append(value)
+    return count
+
+
+def meta_from_ast(module: ast.Module) -> ModuleMeta:
+    return ModuleMeta(imports=tuple(module.imports),
+                      class_count=len(module.classes),
+                      closure_count=count_closures(module))
+
+
+# --- key computation ---------------------------------------------------------
+
+
+def _transitive_imports(name: str, metas: Dict[str, ModuleMeta],
+                        order: Sequence[str]) -> List[str]:
+    """Transitive import closure of ``name``, in program order."""
+    seen = {name}
+    stack = list(metas[name].imports)
+    while stack:
+        dep = stack.pop()
+        if dep in seen or dep not in metas:
+            continue
+        seen.add(dep)
+        stack.extend(metas[dep].imports)
+    seen.discard(name)
+    return [m for m in order if m in seen]
+
+
+def module_keys(items: Sequence[Tuple[str, str]],
+                hashes: Dict[str, str],
+                metas: Dict[str, ModuleMeta],
+                frontend_fingerprint: str,
+                whole_program_coupling: bool = False) -> List[str]:
+    """Cache key per module, in program order.
+
+    ``whole_program_coupling`` folds the whole-program fingerprint into
+    every key; used when a config flag (e.g. SIL outlining) makes module
+    codegen depend on the entire program rather than imports + counters.
+    """
+    order = [name for name, _ in items]
+    program_fp = _digest(*(f"{name}={hashes[name]}" for name in order))
+    keys: List[str] = []
+    type_id_base = 0
+    closure_base = 0
+    for name in order:
+        parts = [
+            "module", PIPELINE_CACHE_VERSION, frontend_fingerprint,
+            f"bases:{type_id_base}:{closure_base}",
+            f"self:{name}={hashes[name]}",
+        ]
+        parts.extend(f"dep:{dep}={hashes[dep]}"
+                     for dep in _transitive_imports(name, metas, order))
+        if whole_program_coupling:
+            parts.append(f"program:{program_fp}")
+        keys.append(_digest(*parts))
+        type_id_base += metas[name].class_count
+        closure_base += metas[name].closure_count
+    return keys
+
+
+def meta_key(source_hash: str) -> str:
+    return _digest("meta", PIPELINE_CACHE_VERSION, source_hash)
+
+
+def image_key(mod_keys: Sequence[str], backend_fingerprint: str) -> str:
+    return _digest("image", PIPELINE_CACHE_VERSION, backend_fingerprint,
+                   *mod_keys)
+
+
+# --- on-disk store -----------------------------------------------------------
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(tempfile.gettempdir(), "repro-pipeline-cache")
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+
+class ModuleCache:
+    """Pickle store addressed by content key; loads are always fresh objects.
+
+    Downstream passes mutate LIR in place, so every hit must hand back an
+    independent copy — unpickling guarantees that.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.root = cache_dir or default_cache_dir()
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
+
+    def load(self, key: str) -> Optional[object]:
+        """Return the stored payload, or None (miss / corrupt entry)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated/corrupted entry: recover by dropping it.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def store(self, key: str, payload: object) -> bool:
+        """Atomically persist ``payload``; failures are non-fatal."""
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self.stats.errors += 1
+            return False
+        self.stats.stores += 1
+        return True

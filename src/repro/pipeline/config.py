@@ -39,3 +39,29 @@ class BuildConfig:
     outlined_layout: str = "appended"
     #: -Osize trivial inliner at the LIR level (future work #2 interaction).
     enable_inliner: bool = False
+
+    # -- build-speed knobs (never affect the produced binary) ---------------
+    #: Worker processes for per-module lowering (1 = serial, 0 = auto).
+    workers: int = 1
+    #: Consult/populate the content-addressed build cache.
+    incremental: bool = False
+    #: Cache location; None = $REPRO_CACHE_DIR or a tempdir default.
+    cache_dir: Optional[str] = None
+
+    def frontend_fingerprint(self) -> str:
+        """Config fields that change per-module LIR (module cache key)."""
+        return (f"arc={int(self.enable_arc_opt)};"
+                f"siloutline={int(self.enable_sil_outlining)}")
+
+    def backend_fingerprint(self) -> str:
+        """Config fields that change the linked image given module LIR
+        (image cache key).  ``workers``/``incremental``/``cache_dir`` are
+        deliberately absent: builds must be bit-identical across them."""
+        return (f"pipe={self.pipeline};rounds={self.outline_rounds};"
+                f"layout={self.data_layout};gc={self.gc_metadata_mode};"
+                f"merge={int(self.enable_merge_functions)};"
+                f"fmsa={int(self.enable_fmsa)};"
+                f"gdce={int(self.global_dce)};"
+                f"stats={int(self.collect_outline_stats)};"
+                f"outlayout={self.outlined_layout};"
+                f"inline={int(self.enable_inliner)}")

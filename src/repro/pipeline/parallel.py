@@ -1,0 +1,139 @@
+"""Process-parallel compilation helpers (fork-based).
+
+Swiftlet sema is whole-program (type ids and closure symbols are numbered
+across modules), so the unit of parallelism is the *per-module lowering*
+that follows it: SIL -> LIR -> -Osize cleanups in the frontend, and
+per-module ``llc`` in the default (Figure 2) pipeline.
+
+Large read-only inputs (the SIL modules, the signature table, the LIR
+modules) are handed to workers through a module-level global populated
+*before* the pool is created: with the ``fork`` start method the children
+inherit the parent's heap copy-on-write, so nothing but the small work
+lists and the results ever crosses a pipe.  Anything that prevents that —
+no ``fork`` on the platform, unpicklable results, a crashed worker — makes
+the helpers return ``None`` and the caller falls back to the serial path,
+which is always semantically identical (bit-identical output is enforced
+by the determinism test harness).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Read-only payload shared with forked workers (set before pool creation).
+_SHARED: Dict[str, object] = {}
+
+
+def resolve_workers(workers: int) -> int:
+    """Translate the config knob into a worker count (0 = auto)."""
+    if workers == 0:
+        return max(1, multiprocessing.cpu_count() - 1)
+    return max(1, workers)
+
+
+def _run_forked(worker, chunks: Sequence[object],
+                workers: int) -> Optional[List[object]]:
+    """Map ``worker`` over ``chunks`` in a fork pool; None on any failure."""
+    if not chunks:
+        return []
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        return None
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks)),
+                mp_context=ctx) as pool:
+            return list(pool.map(worker, chunks))
+    except Exception:
+        return None
+
+
+# --- frontend: SIL -> optimized LIR ------------------------------------------
+
+
+def _lower_chunk(names: List[str]) -> List[Tuple[str, object]]:
+    from repro.lir.irgen import ModuleIRGen
+    from repro.pipeline.build import optimize_module
+
+    sil_by_name = _SHARED["sil_by_name"]
+    signatures = _SHARED["signatures"]
+    out = []
+    for name in names:
+        module = ModuleIRGen(sil_by_name[name], signatures).run()
+        optimize_module(module)
+        out.append((name, module))
+    return out
+
+
+def lower_modules(sil_by_name: Dict[str, object], signatures: Dict[str, object],
+                  names: Sequence[str],
+                  workers: int) -> Optional[Dict[str, object]]:
+    """Lower ``names`` to optimized LIR across ``workers`` processes.
+
+    Returns name -> LIRModule, or None if the parallel path failed (caller
+    must fall back to serial lowering).
+    """
+    if workers <= 1:
+        return None
+    _SHARED["sil_by_name"] = sil_by_name
+    _SHARED["signatures"] = signatures
+    try:
+        chunks = [list(names[i::workers]) for i in range(workers)]
+        chunks = [c for c in chunks if c]
+        results = _run_forked(_lower_chunk, chunks, workers)
+    finally:
+        _SHARED.clear()
+    if results is None:
+        return None
+    lowered: Dict[str, object] = {}
+    for chunk_result in results:
+        for name, module in chunk_result:
+            lowered[name] = module
+    return lowered
+
+
+# --- backend: per-module llc (default pipeline) ------------------------------
+
+
+def _llc_chunk(indices: List[int]) -> List[Tuple[int, object]]:
+    from repro.backend.llc import LLCOptions, run_llc
+
+    lir_modules = _SHARED["lir_modules"]
+    rounds = _SHARED["outline_rounds"]
+    collect = _SHARED["collect_stats"]
+    out = []
+    for i in indices:
+        module = lir_modules[i]
+        llc_out = run_llc(module, LLCOptions(
+            outline_rounds=rounds, collect_stats=collect,
+            outlined_name_prefix=f"{module.name}::"))
+        out.append((i, llc_out))
+    return out
+
+
+def llc_modules(lir_modules: Sequence[object], outline_rounds: int,
+                collect_stats: bool,
+                workers: int) -> Optional[List[object]]:
+    """Run per-module llc in parallel; returns outputs in module order."""
+    if workers <= 1 or len(lir_modules) <= 1:
+        return None
+    _SHARED["lir_modules"] = list(lir_modules)
+    _SHARED["outline_rounds"] = outline_rounds
+    _SHARED["collect_stats"] = collect_stats
+    try:
+        indices = list(range(len(lir_modules)))
+        chunks = [indices[i::workers] for i in range(workers)]
+        chunks = [c for c in chunks if c]
+        results = _run_forked(_llc_chunk, chunks, workers)
+    finally:
+        _SHARED.clear()
+    if results is None:
+        return None
+    ordered: List[object] = [None] * len(lir_modules)
+    for chunk_result in results:
+        for i, llc_out in chunk_result:
+            ordered[i] = llc_out
+    return ordered

@@ -1,0 +1,78 @@
+"""Per-build bookkeeping: phase wall clocks and cache/parallel telemetry.
+
+Every :func:`repro.pipeline.build_program` call fills in a
+:class:`BuildReport`; experiments use it to put *measured* seconds next to
+the §VII-C *modeled* minutes, and the CLI prints it after a build.  Wall
+times are host seconds (a Python toolchain's absolute numbers are only
+meaningful relative to each other — cold vs warm, serial vs parallel).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class BuildReport:
+    """What one build did and how long each phase took."""
+
+    #: Modules in the input program.
+    num_modules: int = 0
+    #: Worker processes used for the parallel frontend (1 = serial).
+    workers: int = 1
+    #: Whether the content-addressed cache was consulted.
+    cache_enabled: bool = False
+    #: Per-module LIR cache outcomes.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    #: True when the whole linked image came from the cache (nothing was
+    #: recompiled, not even the frontend).
+    image_cache_hit: bool = False
+    #: Wall seconds per phase, in execution order.
+    phase_wall: Dict[str, float] = field(default_factory=dict)
+    #: Free-form notes (e.g. "parallel frontend fell back to serial").
+    notes: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a phase; nested/repeated uses accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_wall[name] = self.phase_wall.get(name, 0.0) + elapsed
+
+    @property
+    def total_wall(self) -> float:
+        return sum(self.phase_wall.values())
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report (CLI `build` output)."""
+        lines = []
+        if self.cache_enabled:
+            if self.image_cache_hit:
+                cache = "image cache hit (no recompilation)"
+            else:
+                cache = (f"cache {self.cache_hits} hits / "
+                         f"{self.cache_misses} misses, "
+                         f"{self.cache_stores} stored")
+        else:
+            cache = "cache off"
+        lines.append(f"frontend:  {self.num_modules} modules, "
+                     f"{self.workers} worker(s), {cache}")
+        if self.phase_wall:
+            parts = ", ".join(f"{name} {secs * 1000:.0f}ms"
+                              for name, secs in self.phase_wall.items())
+            lines.append(f"wall:      {parts} "
+                         f"(total {self.total_wall * 1000:.0f}ms)")
+        for note in self.notes:
+            lines.append(f"note:      {note}")
+        return lines

@@ -20,6 +20,7 @@ Everything is parameterised by :class:`AppSpec` and fully seeded.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
@@ -372,6 +373,18 @@ def generate_app(spec: AppSpec) -> Dict[str, str]:
         modules[f"Feature{m}"] = _feature_module(m, spec, feature_rng)
     modules["Main"] = _main_module(spec.num_features)
     return modules
+
+
+def module_fingerprints(spec: AppSpec) -> Dict[str, str]:
+    """Stable per-module source fingerprint (sha256 of the module text).
+
+    Because module content depends only on ``(seed, module index)``, week
+    N+1 keeps every week-N fingerprint unchanged; the build cache keys off
+    exactly these hashes, so weekly-growth experiments re-lower only the
+    modules that week added.
+    """
+    return {name: hashlib.sha256(text.encode("utf-8")).hexdigest()
+            for name, text in generate_app(spec).items()}
 
 
 def span_symbols(spec: AppSpec) -> List[str]:

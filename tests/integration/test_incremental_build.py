@@ -1,0 +1,100 @@
+"""Integration tests for the parallel/incremental pipeline on the synthetic
+app: the warm-cache speedup the PR promises (≥ 3× vs a cold serial build)
+and bit-identity of every build mode on a realistic multi-module program.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.common import app_spec, optimized_config
+from repro.pipeline import BuildConfig, build_program
+from repro.workloads.appgen import generate_app, module_fingerprints
+
+
+@pytest.fixture(scope="module")
+def app_sources():
+    # The E1 (Figure 1) synthetic app at the experiments' default scale.
+    return generate_app(app_spec("small"))
+
+
+def _config(**kw):
+    base = optimized_config()  # the paper's 5-round whole-program pipeline
+    return BuildConfig(**{**base.__dict__, **kw})
+
+
+def _identity(result):
+    return (result.image.text_section(), result.image.data_section(),
+            [(s.round_no, s.sequences_outlined, s.functions_created,
+              s.bytes_saved) for s in result.outline_stats])
+
+
+def test_warm_rebuild_at_least_3x_faster_and_identical(app_sources, tmp_path):
+    start = time.perf_counter()
+    cold_serial = build_program(app_sources, _config())
+    cold_seconds = time.perf_counter() - start
+
+    populate = build_program(
+        app_sources, _config(incremental=True, cache_dir=str(tmp_path)))
+    assert _identity(populate) == _identity(cold_serial)
+
+    start = time.perf_counter()
+    warm = build_program(
+        app_sources, _config(incremental=True, cache_dir=str(tmp_path)))
+    warm_seconds = time.perf_counter() - start
+
+    assert warm.report.image_cache_hit
+    assert _identity(warm) == _identity(cold_serial)
+    assert warm_seconds * 3 <= cold_seconds, (
+        f"warm rebuild took {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.1f}x)")
+
+
+def test_parallel_build_identical_on_app(app_sources):
+    serial = build_program(app_sources, _config())
+    parallel = build_program(app_sources, _config(workers=4))
+    assert _identity(parallel) == _identity(serial)
+
+
+def test_parallel_default_pipeline_identical_on_app(app_sources):
+    serial = build_program(
+        app_sources, BuildConfig(pipeline="default", outline_rounds=1))
+    parallel = build_program(
+        app_sources, BuildConfig(pipeline="default", outline_rounds=1,
+                                 workers=4))
+    assert _identity(parallel) == _identity(serial)
+
+
+def test_module_cache_reused_across_configs(app_sources, tmp_path):
+    """Baseline and optimized builds of the same app share module LIR."""
+    optimized = build_program(
+        app_sources, _config(incremental=True, cache_dir=str(tmp_path)))
+    assert optimized.report.cache_misses == len(app_sources)
+    baseline = build_program(
+        app_sources, BuildConfig(pipeline="default", outline_rounds=1,
+                                 incremental=True, cache_dir=str(tmp_path)))
+    assert baseline.report.cache_hits == len(app_sources)
+    fresh = build_program(
+        app_sources, BuildConfig(pipeline="default", outline_rounds=1))
+    assert _identity(baseline) == _identity(fresh)
+
+
+def test_weekly_growth_reuses_previous_week_modules(tmp_path):
+    """Week N+1 only recompiles the modules it added (plus Main)."""
+    spec = app_spec("tiny")
+    week0 = generate_app(spec)
+    week8 = generate_app(spec.at_week(8))
+    assert set(week0) < set(week8)
+
+    fp0, fp8 = module_fingerprints(spec), module_fingerprints(spec.at_week(8))
+    assert all(fp8[name] == fp0[name] for name in fp0 if name != "Main")
+
+    config = dict(outline_rounds=1, incremental=True,
+                  cache_dir=str(tmp_path))
+    build_program(week0, BuildConfig(**config))
+    grown = build_program(week8, BuildConfig(**config))
+    new_modules = (set(week8) - set(week0)) | {"Main"}
+    assert grown.report.cache_misses == len(new_modules)
+    assert grown.report.cache_hits == len(week8) - len(new_modules)
+    fresh = build_program(week8, BuildConfig(outline_rounds=1))
+    assert _identity(grown) == _identity(fresh)

@@ -1,0 +1,188 @@
+"""Unit tests for the content-addressed build cache (pipeline/cache.py):
+keying, hit/miss behaviour on edits, invalidation on config/version
+changes, and corrupted-entry recovery."""
+
+import glob
+import os
+
+from repro.frontend.parser import parse_module
+from repro.pipeline import BuildConfig, build_program
+from repro.pipeline import cache as cache_mod
+from repro.pipeline.cache import (
+    ModuleCache,
+    count_closures,
+    fingerprint_source,
+    meta_from_ast,
+    module_keys,
+)
+
+LIB = """
+class Pair {
+    var a: Int
+    var b: Int
+    init(a: Int, b: Int) {
+        self.a = a
+        self.b = b
+    }
+}
+
+func scale(x: Int) -> Int { return x * 3 }
+"""
+
+MAIN = """
+import Lib
+
+func main() {
+    let p = Pair(a: scale(x: 2), b: 5)
+    print(p.a + p.b)
+}
+"""
+
+OTHER = """
+func unrelated(x: Int) -> Int { return x - 1 }
+"""
+
+
+def _sources():
+    return [("Lib", LIB), ("Other", OTHER), ("Main", MAIN)]
+
+
+def _keys(items, fingerprint="fp"):
+    hashes = {name: fingerprint_source(text) for name, text in items}
+    metas = {name: meta_from_ast(parse_module(text, name))
+             for name, text in items}
+    return dict(zip([n for n, _ in items],
+                    module_keys(items, hashes, metas, fingerprint)))
+
+
+class TestModuleKeys:
+    def test_stable_across_calls(self):
+        assert _keys(_sources()) == _keys(_sources())
+
+    def test_edit_invalidates_module_and_importers_only(self):
+        before = _keys(_sources())
+        edited = [("Lib", LIB + "\nfunc extra() -> Int { return 7 }\n"),
+                  ("Other", OTHER), ("Main", MAIN)]
+        after = _keys(edited)
+        assert after["Lib"] != before["Lib"]
+        assert after["Main"] != before["Main"]  # imports Lib
+        assert after["Other"] == before["Other"]  # independent, no new classes
+
+    def test_new_class_shifts_type_id_bases_of_later_modules(self):
+        before = _keys(_sources())
+        with_class = [("Lib", LIB + "\nclass Extra {\n    var v: Int\n"
+                              "    init(v: Int) {\n        self.v = v\n"
+                              "    }\n}\n"),
+                      ("Other", OTHER), ("Main", MAIN)]
+        after = _keys(with_class)
+        # Other never imports Lib, but its type-id base moved.
+        assert after["Other"] != before["Other"]
+
+    def test_config_fingerprint_invalidates(self):
+        assert (_keys(_sources(), "fp-a")["Main"]
+                != _keys(_sources(), "fp-b")["Main"])
+
+    def test_version_bump_invalidates(self, monkeypatch):
+        before = _keys(_sources())
+        monkeypatch.setattr(cache_mod, "PIPELINE_CACHE_VERSION", "999-test")
+        assert _keys(_sources())["Lib"] != before["Lib"]
+
+    def test_count_closures(self):
+        module = parse_module(
+            "func f() -> Int {\n"
+            "    let g = { (x: Int) -> Int in return x + 1 }\n"
+            "    let h = { (x: Int) -> Int in return x * 2 }\n"
+            "    return g(1) + h(2)\n"
+            "}\n", "M")
+        assert count_closures(module) == 2
+
+
+class TestModuleCacheStore:
+    def test_roundtrip(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        assert cache.load("ab" * 32) is None
+        assert cache.store("ab" * 32, {"payload": [1, 2, 3]})
+        assert cache.load("ab" * 32) == {"payload": [1, 2, 3]}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_corrupted_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        key = "cd" * 32
+        cache.store(key, {"ok": True})
+        path = cache._path(key)
+        with open(path, "wb") as fh:
+            fh.write(b"\x80\x05 this is not a pickle")
+        assert cache.load(key) is None
+        assert cache.stats.errors == 1
+        assert not os.path.exists(path)
+        # The build can repopulate it afterwards.
+        assert cache.store(key, {"ok": True})
+        assert cache.load(key) == {"ok": True}
+
+
+class TestBuildLevelCaching:
+    def _config(self, tmp_path, **kw):
+        return BuildConfig(outline_rounds=1, incremental=True,
+                           cache_dir=str(tmp_path), **kw)
+
+    def test_hit_on_rebuild_miss_on_edit(self, tmp_path):
+        sources = dict(_sources())
+        cold = build_program(sources, self._config(tmp_path))
+        assert cold.report.cache_misses == 3
+        warm = build_program(sources, self._config(tmp_path))
+        assert warm.report.cache_hits == 3
+        assert warm.report.image_cache_hit
+        edited = dict(sources)
+        edited["Other"] = OTHER + "\nfunc more(x: Int) -> Int { return x }\n"
+        partial = build_program(edited, self._config(tmp_path))
+        assert partial.report.cache_hits == 2
+        assert partial.report.cache_misses == 1
+        assert not partial.report.image_cache_hit
+        # Identical to an uncached build of the edited program.
+        fresh = build_program(edited, BuildConfig(outline_rounds=1))
+        assert (partial.image.text_section() == fresh.image.text_section())
+        assert (partial.image.data_section() == fresh.image.data_section())
+
+    def test_frontend_config_change_invalidates_modules(self, tmp_path):
+        sources = dict(_sources())
+        build_program(sources, self._config(tmp_path))
+        flipped = build_program(sources,
+                                self._config(tmp_path, enable_arc_opt=False))
+        assert flipped.report.cache_misses == 3
+
+    def test_backend_config_change_keeps_module_hits(self, tmp_path):
+        sources = dict(_sources())
+        build_program(sources, self._config(tmp_path))
+        rebuilt = build_program(
+            sources, BuildConfig(outline_rounds=4, incremental=True,
+                                 cache_dir=str(tmp_path)))
+        assert rebuilt.report.cache_hits == 3
+        assert not rebuilt.report.image_cache_hit
+        fresh = build_program(sources, BuildConfig(outline_rounds=4))
+        assert rebuilt.image.text_section() == fresh.image.text_section()
+
+    def test_version_bump_invalidates_everything(self, tmp_path, monkeypatch):
+        sources = dict(_sources())
+        build_program(sources, self._config(tmp_path))
+        monkeypatch.setattr(cache_mod, "PIPELINE_CACHE_VERSION", "test-bump")
+        rebuilt = build_program(sources, self._config(tmp_path))
+        assert rebuilt.report.cache_hits == 0
+        assert rebuilt.report.cache_misses == 3
+
+    def test_corrupted_module_entry_recovers(self, tmp_path):
+        sources = dict(_sources())
+        reference = build_program(sources, self._config(tmp_path))
+        # Smash every stored object; the rebuild must neither crash nor
+        # return stale results.
+        for path in glob.glob(str(tmp_path / "objects" / "*" / "*.pkl")):
+            with open(path, "wb") as fh:
+                fh.write(b"garbage")
+        rebuilt = build_program(sources, self._config(tmp_path))
+        assert rebuilt.report.cache_hits == 0
+        assert (rebuilt.image.text_section()
+                == reference.image.text_section())
+        # And the repaired cache serves hits again.
+        warm = build_program(sources, self._config(tmp_path))
+        assert warm.report.image_cache_hit

@@ -71,6 +71,22 @@ class TestBuildProgram:
         assert sizes.binary_bytes == (sizes.text_bytes + sizes.data_bytes
                                       + sizes.metadata_bytes)
 
+    def test_sizes_memoized_and_stable(self):
+        # Regression: `sizes` used to recompute SizeReport.from_image on
+        # every access; it must now be computed once and stay stable.
+        result = build_program({"M": SOURCE})
+        first = result.sizes
+        assert result.sizes is first
+        assert result.sizes == first
+
+    def test_report_has_phase_walls(self):
+        result = build_program({"M": SOURCE})
+        for phase in ("parse", "sema", "silgen", "lower", "llc", "link"):
+            assert phase in result.report.phase_wall
+        assert result.report.num_modules == 1
+        assert result.report.total_wall > 0
+        assert result.report.summary_lines()
+
     def test_run_build_executes_entry(self):
         result = build_program({"M": SOURCE})
         execution = run_build(result)
