@@ -17,6 +17,8 @@ import sys
 import time
 from typing import Dict, List
 
+from repro.errors import DiagnosticError, ReproError
+
 
 def _load_sources(paths: List[str]) -> Dict[str, str]:
     sources: Dict[str, str] = {}
@@ -27,6 +29,14 @@ def _load_sources(paths: List[str]) -> Dict[str, str]:
     return sources
 
 
+def _fault_plan(args):
+    from repro.pipeline import FaultPlan
+
+    if not getattr(args, "inject_faults", None):
+        return None
+    return FaultPlan.parse(args.inject_faults)
+
+
 def _build(args):
     from repro.pipeline import BuildConfig, build_program
 
@@ -35,7 +45,10 @@ def _build(args):
                          data_layout=args.data_layout,
                          workers=args.workers,
                          incremental=args.incremental,
-                         cache_dir=args.cache_dir)
+                         cache_dir=args.cache_dir,
+                         verify_image=args.verify_image,
+                         fail_fast=args.fail_fast,
+                         fault_plan=_fault_plan(args))
     return build_program(_load_sources(args.sources), config), config
 
 
@@ -146,6 +159,19 @@ def _add_build_args(parser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="cache location (default: $REPRO_CACHE_DIR "
                              "or a tempdir)")
+    parser.add_argument("--verify-image", dest="verify_image",
+                        action="store_true", default=True,
+                        help="run the post-link binary verifier (default)")
+    parser.add_argument("--no-verify-image", dest="verify_image",
+                        action="store_false",
+                        help="skip the post-link binary verifier")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="raise on the first worker failure instead of "
+                             "retrying/degrading (for CI)")
+    parser.add_argument("--inject-faults", default=None, metavar="SPEC",
+                        help="seeded fault injection, e.g. "
+                             "'seed=7,crash=0.3,corrupt=1' (keys: seed, "
+                             "crash, hang, pickle, corrupt, torn, nofork)")
 
 
 def main(argv=None) -> int:
@@ -187,7 +213,19 @@ def main(argv=None) -> int:
     p_exp.set_defaults(func=cmd_experiments)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except DiagnosticError as exc:
+        # Source-level diagnostics already carry file:line:col.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        # Unreadable inputs, bad --inject-faults specs, and the like.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

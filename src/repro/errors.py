@@ -51,6 +51,16 @@ class LinkError(ReproError):
     """IR-level (llvm-link analog) or binary-level link failure."""
 
 
+class ImageVerifierError(LinkError):
+    """The post-link binary verifier found an inconsistent image.
+
+    Raised by :func:`repro.link.verify.verify_image` instead of letting a
+    structurally wrong binary (bad branch target, truncated text section,
+    symbol/extent mismatch) reach the caller — whether it was just linked
+    or restored from the build cache.
+    """
+
+
 class GCMetadataConflict(LinkError):
     """Conflicting 'Objective-C Garbage Collection' module flags (Section VI-2).
 
@@ -85,3 +95,28 @@ class TrapError(SimulationError):
 
 class RuntimeTrap(SimulationError):
     """A simulated runtime function detected a fatal error (e.g. bad refcount)."""
+
+
+class BuildError(ReproError):
+    """The build orchestrator could not produce a binary.
+
+    By default transient worker failures never surface as exceptions —
+    they become :class:`~repro.pipeline.report.DegradationEvent` records
+    and the degradation ladder (retry -> serial re-run) absorbs them.
+    With ``BuildConfig(fail_fast=True)`` the ladder is disabled and the
+    first chunk failure raises (:class:`WorkerCrashError` for dead or
+    hung workers, plain :class:`BuildError` otherwise).
+    """
+
+
+class WorkerCrashError(BuildError):
+    """A compilation worker process died (or was killed) mid-chunk."""
+
+    def __init__(self, message: str, chunk: int = -1, attempt: int = 0):
+        super().__init__(message)
+        self.chunk = chunk
+        self.attempt = attempt
+
+
+class CacheCorruptionError(BuildError):
+    """A cache entry was unreadable and could not be recovered in place."""

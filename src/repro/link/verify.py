@@ -1,0 +1,185 @@
+"""Post-link binary verifier: prove an image is structurally sound.
+
+Runs after every build and on every image-cache hit (the cache restores
+pickles from disk — exactly the artifact a torn write, a bit flip, or a
+bad pickler could have damaged).  The checks mirror what the paper's
+pipeline learned the hard way (§VI): a size-reducing transform or a
+pipeline change that *links* is not necessarily *correct*, so the final
+image is validated once more before anyone executes or ships it.
+
+Checks, in order:
+
+1. **Text layout** — function extents start at ``text_base``, are sorted,
+   non-overlapping, instruction-aligned, and cover the instruction stream
+   exactly (a truncated ``instrs`` list or a phantom extent both fail).
+2. **Symbol table consistency** — every function extent has a symbol at
+   its start address; every symbol resolves into text, a runtime stub, or
+   the data segment; the entry symbol (when set) is a real function.
+3. **Branch/call targets in range** — every local branch lands inside its
+   own function; every resolved call lands on a function start or a
+   runtime stub; every direct call/tail call has a resolved target.
+4. **Outlined call/return pairing** — outlined functions end in ``RET``
+   or a tail call (control always returns to the caller), and nothing
+   branches into the middle of an outlined body.
+5. **Data layout monotonic** — the data segment sits above text, module
+   extents are well-formed and inside the segment, and every initialised
+   word lies inside the segment.
+
+All violations raise :class:`~repro.errors.ImageVerifierError` — a
+structurally wrong binary must never be returned to the caller.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ImageVerifierError
+from repro.isa.instructions import INSTR_BYTES, Opcode, Sym
+from repro.link.binary import BinaryImage
+
+
+def verify_image(image: BinaryImage) -> None:
+    """Raise :class:`ImageVerifierError` unless ``image`` is sound."""
+    problems: List[str] = []
+    _check_text_layout(image, problems)
+    if not problems:
+        # Later checks index by extent; skip them if layout is broken.
+        _check_symbols(image, problems)
+        _check_targets(image, problems)
+        _check_outlined(image, problems)
+        _check_data(image, problems)
+    if problems:
+        preview = "; ".join(problems[:4])
+        more = f" (+{len(problems) - 4} more)" if len(problems) > 4 else ""
+        raise ImageVerifierError(
+            f"binary image failed verification: {preview}{more}")
+
+
+def _check_text_layout(image: BinaryImage, problems: List[str]) -> None:
+    addr = image.text_base
+    for ext in image.functions:
+        if ext.start != addr:
+            problems.append(
+                f"function {ext.name!r} starts at {ext.start:#x}, "
+                f"expected {addr:#x} (extents must be contiguous)")
+            return
+        if ext.end <= ext.start or (ext.end - ext.start) % INSTR_BYTES:
+            problems.append(
+                f"function {ext.name!r} has a bad extent "
+                f"[{ext.start:#x}, {ext.end:#x})")
+            return
+        addr = ext.end
+    text_end = image.text_base + len(image.instrs) * INSTR_BYTES
+    if addr != text_end:
+        problems.append(
+            f"text section holds {len(image.instrs)} instructions "
+            f"(ends {text_end:#x}) but extents end at {addr:#x} "
+            f"(truncated or padded text)")
+
+
+def _check_symbols(image: BinaryImage, problems: List[str]) -> None:
+    starts = {ext.start for ext in image.functions}
+    for ext in image.functions:
+        if image.symbols.get(ext.name) != ext.start:
+            problems.append(
+                f"symbol table disagrees with extent of {ext.name!r}: "
+                f"{image.symbols.get(ext.name)!r} != {ext.start:#x}")
+    text_end = image.text_base + len(image.instrs) * INSTR_BYTES
+    for name, addr in image.symbols.items():
+        in_text = image.text_base <= addr < text_end
+        in_data = image.data_base <= addr < max(image.data_end,
+                                                image.data_base + 1)
+        is_stub = addr in image.runtime_stubs
+        if in_text and addr not in starts:
+            problems.append(
+                f"symbol {name!r} points inside a function body "
+                f"({addr:#x})")
+        elif not (in_text or in_data or is_stub):
+            problems.append(
+                f"symbol {name!r} points outside every segment ({addr:#x})")
+    entry = image.entry_symbol
+    if entry is not None and image.symbols.get(entry) not in starts:
+        problems.append(f"entry symbol {entry!r} is not a function start")
+
+
+def _check_targets(image: BinaryImage, problems: List[str]) -> None:
+    starts = {ext.start for ext in image.functions}
+    for idx, instr in enumerate(image.instrs):
+        addr = image.addr_of_index(idx)
+        ext = image.function_at(addr)
+        target = image.resolved_target.get(idx)
+        if instr.branch_target() is not None:
+            if target is None:
+                problems.append(
+                    f"branch at {addr:#x} ({instr.render()}) was never "
+                    f"resolved")
+            elif (ext is None or not ext.start <= target < ext.end
+                    or (target - image.text_base) % INSTR_BYTES):
+                problems.append(
+                    f"branch at {addr:#x} targets {target:#x}, outside its "
+                    f"function {ext.name if ext else '?'!r}")
+        elif instr.opcode is Opcode.BL or instr.is_tail_call:
+            if isinstance(instr.operands[0], Sym):
+                if target is None:
+                    problems.append(
+                        f"call at {addr:#x} ({instr.render()}) was never "
+                        f"resolved")
+                elif target not in starts and target not in image.runtime_stubs:
+                    problems.append(
+                        f"call at {addr:#x} targets {target:#x}, which is "
+                        f"neither a function start nor a runtime stub")
+        sym_addr = image.resolved_sym.get(idx)
+        if sym_addr is not None:
+            in_data = image.data_base <= sym_addr < image.data_end
+            if not (in_data or sym_addr in starts
+                    or sym_addr in image.runtime_stubs):
+                problems.append(
+                    f"address materialisation at {addr:#x} resolves to "
+                    f"{sym_addr:#x}, outside data and function starts")
+
+
+def _check_outlined(image: BinaryImage, problems: List[str]) -> None:
+    outlined = [ext for ext in image.functions if ext.is_outlined]
+    if not outlined:
+        return
+    for ext in outlined:
+        last = image.instrs[image.index_of_addr(ext.end) - 1]
+        if not (last.is_return or last.is_tail_call):
+            problems.append(
+                f"outlined function {ext.name!r} falls through its end "
+                f"(last instruction {last.render()!r}) — call/return "
+                f"pairing is broken")
+    # Nothing may branch into the middle of an outlined body: outlined
+    # code is only entered via BL/tail call at its start (checked above),
+    # and local branches stay within their own function (checked above),
+    # so the remaining hazard is an outlined extent whose start has no
+    # symbol — an unreachable orphan that bloats text silently.
+    for ext in outlined:
+        if image.symbols.get(ext.name) != ext.start:
+            problems.append(
+                f"outlined function {ext.name!r} has no symbol at its "
+                f"start address")
+
+
+def _check_data(image: BinaryImage, problems: List[str]) -> None:
+    text_end = image.text_base + len(image.instrs) * INSTR_BYTES
+    if image.data_end < image.data_base:
+        problems.append(
+            f"data segment is inverted: [{image.data_base:#x}, "
+            f"{image.data_end:#x})")
+        return
+    if image.data_init and image.data_base < text_end:
+        problems.append(
+            f"data segment [{image.data_base:#x}, ...) overlaps text "
+            f"(ends {text_end:#x})")
+    for name, (lo, hi) in image.data_extent_of_module.items():
+        if not (image.data_base <= lo <= hi <= image.data_end):
+            problems.append(
+                f"module {name!r} data extent [{lo:#x}, {hi:#x}) escapes "
+                f"the data segment")
+    for addr in image.data_init:
+        if not image.data_base <= addr < image.data_end:
+            problems.append(
+                f"initialised data word at {addr:#x} lies outside "
+                f"[{image.data_base:#x}, {image.data_end:#x})")
+            break  # one example is enough; data_init can be large

@@ -1,4 +1,4 @@
-"""Build pipelines (Figures 2 and 10), incremental and parallel."""
+"""Build pipelines (Figures 2 and 10), incremental, parallel, fault-tolerant."""
 
 from repro.pipeline.build import (
     BuildResult,
@@ -8,14 +8,18 @@ from repro.pipeline.build import (
     frontend_to_lir,
     run_build,
 )
-from repro.pipeline.cache import PIPELINE_CACHE_VERSION, ModuleCache
+from repro.pipeline.cache import PIPELINE_CACHE_VERSION, CacheStats, ModuleCache
 from repro.pipeline.config import BuildConfig
-from repro.pipeline.report import BuildReport
+from repro.pipeline.faults import FaultPlan
+from repro.pipeline.report import BuildReport, DegradationEvent
 
 __all__ = [
     "BuildConfig",
     "BuildReport",
     "BuildResult",
+    "CacheStats",
+    "DegradationEvent",
+    "FaultPlan",
     "ModuleCache",
     "PIPELINE_CACHE_VERSION",
     "SizeReport",

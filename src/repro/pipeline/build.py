@@ -36,6 +36,7 @@ from repro.lir.linker import LinkOptions, link_modules
 from repro.lir.passes import constprop, dce, globaldce, mem2reg, simplifycfg
 from repro.link.binary import BinaryImage
 from repro.link.linker import link_binary
+from repro.link.verify import verify_image
 from repro.pipeline import cache as cache_mod
 from repro.pipeline import parallel
 from repro.pipeline.cache import ModuleCache
@@ -183,10 +184,13 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
             workers = parallel.resolve_workers(config.workers)
             outputs = parallel.llc_modules(
                 lir_modules, config.outline_rounds,
-                config.collect_outline_stats, workers)
-            if outputs is None:
-                if workers > 1:
-                    report.note("parallel llc fell back to serial")
+                config.collect_outline_stats, workers,
+                plan=config.fault_plan, report=report,
+                chunk_timeout=config.chunk_timeout,
+                max_retries=config.max_chunk_retries,
+                retry_backoff=config.retry_backoff,
+                fail_fast=config.fail_fast)
+            if outputs is None:  # workers <= 1: the serial path by design
                 outputs = [run_llc(module, LLCOptions(
                     outline_rounds=config.outline_rounds,
                     collect_stats=config.collect_outline_stats,
@@ -316,10 +320,13 @@ def _frontend(items: List[Tuple[str, str]], config: BuildConfig,
         workers = parallel.resolve_workers(config.workers)
         lowered = None
         if workers > 1 and len(misses) > 1:
-            lowered = parallel.lower_modules(sil_by_name, signatures,
-                                             misses, workers)
-            if lowered is None:
-                report.note("parallel frontend fell back to serial")
+            lowered = parallel.lower_modules(
+                sil_by_name, signatures, misses, workers,
+                plan=config.fault_plan, report=report,
+                chunk_timeout=config.chunk_timeout,
+                max_retries=config.max_chunk_retries,
+                retry_backoff=config.retry_backoff,
+                fail_fast=config.fail_fast)
         if lowered is None:
             lowered = {}
             for name in misses:
@@ -358,7 +365,8 @@ def build_program(sources: SourceModules,
     report = BuildReport(num_modules=len(items),
                          workers=parallel.resolve_workers(config.workers),
                          cache_enabled=config.incremental)
-    cache = ModuleCache(config.cache_dir) if config.incremental else None
+    cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
+             if config.incremental else None)
 
     fe = _frontend(items, config, cache, report)
 
@@ -368,7 +376,12 @@ def build_program(sources: SourceModules,
                                       config.backend_fingerprint())
         entry = cache.load(img_key)
         if _valid_image_entry(entry):
+            # A cache-restored image gets re-verified every time: the
+            # pickle on disk, not the linker's output, is what a torn
+            # write or bit flip would have damaged.
+            _verify(entry["image"], config, report)
             report.image_cache_hit = True
+            _note_cache_recoveries(cache, report)
             return BuildResult(image=entry["image"], program=fe.program,
                                registry=fe.registry, config=config,
                                machine_modules=entry["machine_modules"],
@@ -379,6 +392,7 @@ def build_program(sources: SourceModules,
 
     result = build_lir_modules(fe.lir_modules, config, registry=fe.registry,
                                program=fe.program, report=report)
+    _verify(result.image, config, report)
     if cache is not None and img_key is not None:
         with report.phase("cache-store"):
             cache.store(img_key, {
@@ -389,7 +403,32 @@ def build_program(sources: SourceModules,
                 "phase_work": result.phase_work,
             })
         report.cache_stores = cache.stats.stores
+    if cache is not None:
+        _note_cache_recoveries(cache, report)
     return result
+
+
+def _verify(image: BinaryImage, config: BuildConfig,
+            report: BuildReport) -> None:
+    if not config.verify_image:
+        return
+    with report.phase("verify"):
+        verify_image(image)
+    report.image_verified = True
+
+
+def _note_cache_recoveries(cache: ModuleCache, report: BuildReport) -> None:
+    stats = cache.stats
+    if stats.quarantined:
+        report.degrade("cache-quarantine", phase="cache",
+                       detail=f"{stats.quarantined} corrupt entr"
+                              f"{'y' if stats.quarantined == 1 else 'ies'} "
+                              f"quarantined")
+    if stats.errors > stats.quarantined or stats.torn_writes:
+        failed = stats.errors - stats.quarantined + stats.torn_writes
+        report.degrade("cache-store-failed", phase="cache",
+                       detail=f"{failed} cache operation(s) did not "
+                              f"complete; entries will be rebuilt")
 
 
 def run_build(result: BuildResult, timing=None, entry_symbol=None,

@@ -22,8 +22,12 @@ to an input produces a different key (never a stale hit):
   skips every compilation phase.
 
 Entries are pickles under ``cache_dir/objects/<k[:2]>/<k>.pkl`` written
-atomically; a corrupted or truncated entry is treated as a miss and
-deleted, never an error.
+atomically (temp file + rename, so a crashed writer can never leave a
+half-written entry under a live key); a corrupted or truncated entry is
+treated as a miss, quarantined out of the way, and never an error.
+Mutating operations take a cross-process advisory lock (``flock`` where
+available) so concurrent builds sharing one ``cache_dir`` cannot race a
+store against a quarantine of the same key.
 """
 
 from __future__ import annotations
@@ -32,10 +36,18 @@ import hashlib
 import os
 import pickle
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field, is_dataclass, fields as dc_fields
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import CacheCorruptionError
 from repro.frontend import ast
+from repro.pipeline.faults import FaultPlan
 
 #: Bump whenever codegen output can change (invalidates every entry).
 PIPELINE_CACHE_VERSION = "1"
@@ -171,6 +183,12 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    #: Corrupt entries moved to ``quarantine/`` instead of being served.
+    quarantined: int = 0
+    #: Stores that never reached the rename (crash / injected torn write).
+    torn_writes: int = 0
+    #: Advisory-lock acquisitions that had to wait or were skipped.
+    lock_failures: int = 0
 
 
 class ModuleCache:
@@ -178,18 +196,91 @@ class ModuleCache:
 
     Downstream passes mutate LIR in place, so every hit must hand back an
     independent copy — unpickling guarantees that.
+
+    Recovery behaviour (every action counted in :class:`CacheStats`):
+
+    * a missing entry is a miss;
+    * an unreadable entry is a miss *and* is atomically quarantined to
+      ``cache_dir/quarantine/`` so it cannot fail again on every build
+      (and stays available for post-mortem inspection);
+    * a store that cannot complete is dropped — the temp file is removed
+      and the previous entry (if any) stays intact, because the rename is
+      the only step that publishes a key.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None):
+    def __init__(self, cache_dir: Optional[str] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.root = cache_dir or default_cache_dir()
         self.stats = CacheStats()
+        self.fault_plan = fault_plan
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
 
+    def _quarantine_path(self, key: str) -> str:
+        return os.path.join(self.root, "quarantine", f"{key}.pkl")
+
+    @contextmanager
+    def _locked(self, key: str) -> Iterator[None]:
+        """Cross-process advisory lock for mutations of ``key``.
+
+        Lock files are tiny, per-key, and live under ``locks/``; when the
+        platform has no ``flock`` the section simply runs unlocked (the
+        rename-based store is still atomic, only quarantine-vs-store
+        ordering loses its guarantee).
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_dir = os.path.join(self.root, "locks")
+        os.makedirs(lock_dir, exist_ok=True)
+        lock_path = os.path.join(lock_dir, f"{key[:16]}.lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR)
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self.stats.lock_failures += 1
+                fcntl.flock(fd, fcntl.LOCK_EX)  # wait our turn
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def _quarantine(self, key: str, path: str) -> None:
+        """Move a corrupt entry aside; deletion is the fallback.
+
+        If the entry can neither be moved nor deleted it would poison
+        every future build (each one re-reading, re-failing, and
+        re-compiling), so that one case escalates to a typed
+        :class:`~repro.errors.CacheCorruptionError`.
+        """
+        qpath = self._quarantine_path(key)
+        try:
+            os.makedirs(os.path.dirname(qpath), exist_ok=True)
+            os.replace(path, qpath)
+            self.stats.quarantined += 1
+        except OSError:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass  # someone else already recovered it
+            except OSError as exc:
+                raise CacheCorruptionError(
+                    f"corrupt cache entry {key[:16]}... is stuck at {path} "
+                    f"(cannot quarantine or delete): {exc}") from exc
+
     def load(self, key: str) -> Optional[object]:
-        """Return the stored payload, or None (miss / corrupt entry)."""
+        """Return the stored payload, or None (miss / quarantined corrupt
+        entry).  Raises CacheCorruptionError only if a corrupt entry is
+        stuck on disk (cannot be moved or removed)."""
         path = self._path(key)
+        if (self.fault_plan is not None
+                and self.fault_plan.should_fire("cache_corrupt",
+                                                f"load:{key}")):
+            _scramble_entry(path)
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
@@ -197,13 +288,12 @@ class ModuleCache:
             self.stats.misses += 1
             return None
         except Exception:
-            # Truncated/corrupted entry: recover by dropping it.
+            # Truncated/corrupted entry: recover by quarantining it so the
+            # next build repopulates the key instead of re-failing forever.
             self.stats.errors += 1
             self.stats.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            with self._locked(key):
+                self._quarantine(key, path)
             return None
         self.stats.hits += 1
         return payload
@@ -211,22 +301,46 @@ class ModuleCache:
     def store(self, key: str, payload: object) -> bool:
         """Atomically persist ``payload``; failures are non-fatal."""
         path = self._path(key)
+        torn = (self.fault_plan is not None
+                and self.fault_plan.should_fire("torn_write", f"store:{key}"))
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                       suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
+            with self._locked(key):
+                fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                           suffix=".tmp")
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "wb") as fh:
+                        blob = pickle.dumps(payload,
+                                            protocol=pickle.HIGHEST_PROTOCOL)
+                        if torn:
+                            # Simulate a crash mid-write: half the bytes
+                            # land, the rename never happens, and the key
+                            # is never published.
+                            fh.write(blob[:max(1, len(blob) // 2)])
+                            self.stats.torn_writes += 1
+                            return False
+                        fh.write(blob)
+                    os.replace(tmp, path)
+                    tmp = None
+                finally:
+                    if tmp is not None:
+                        try:
+                            os.unlink(tmp)
+                        except OSError:
+                            pass
         except Exception:
             self.stats.errors += 1
             return False
         self.stats.stores += 1
         return True
+
+
+def _scramble_entry(path: str) -> None:
+    """Corrupt an on-disk entry in place (fault injection only)."""
+    try:
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, os.path.getsize(path) // 3))
+            fh.seek(0)
+            fh.write(b"\x80\x05corrupt")
+    except OSError:
+        pass

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.pipeline.faults import FaultPlan
+
 
 @dataclass
 class BuildConfig:
@@ -47,6 +49,27 @@ class BuildConfig:
     incremental: bool = False
     #: Cache location; None = $REPRO_CACHE_DIR or a tempdir default.
     cache_dir: Optional[str] = None
+
+    # -- robustness knobs (never affect the produced binary) ----------------
+    #: Run the post-link binary verifier on every build and every
+    #: image-cache hit; a failure raises ImageVerifierError instead of
+    #: returning a structurally wrong binary.
+    verify_image: bool = True
+    #: Deadline in seconds for one parallel compilation chunk; a chunk
+    #: that misses it is retried and finally recompiled serially in the
+    #: parent.  None disables the deadline (a hung worker then hangs the
+    #: build).
+    chunk_timeout: Optional[float] = 60.0
+    #: In-pool retries per chunk before the serial in-parent re-run.
+    max_chunk_retries: int = 2
+    #: Base backoff in seconds between chunk retry rounds.
+    retry_backoff: float = 0.05
+    #: Disable the degradation ladder: the first chunk failure raises a
+    #: typed WorkerCrashError/BuildError instead of retrying.  Useful in
+    #: CI, where a flaky worker should be noticed rather than absorbed.
+    fail_fast: bool = False
+    #: Seeded fault-injection schedule (tests/CI only; None = no faults).
+    fault_plan: Optional[FaultPlan] = None
 
     def frontend_fingerprint(self) -> str:
         """Config fields that change per-module LIR (module cache key)."""

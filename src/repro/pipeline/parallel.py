@@ -1,4 +1,4 @@
-"""Process-parallel compilation helpers (fork-based).
+"""Process-parallel compilation helpers (fork-based), with fault tolerance.
 
 Swiftlet sema is whole-program (type ids and closure symbols are numbered
 across modules), so the unit of parallelism is the *per-module lowering*
@@ -6,60 +6,89 @@ that follows it: SIL -> LIR -> -Osize cleanups in the frontend, and
 per-module ``llc`` in the default (Figure 2) pipeline.
 
 Large read-only inputs (the SIL modules, the signature table, the LIR
-modules) are handed to workers through a module-level global populated
+modules) are handed to workers through a module-level registry populated
 *before* the pool is created: with the ``fork`` start method the children
 inherit the parent's heap copy-on-write, so nothing but the small work
-lists and the results ever crosses a pipe.  Anything that prevents that —
-no ``fork`` on the platform, unpicklable results, a crashed worker — makes
-the helpers return ``None`` and the caller falls back to the serial path,
-which is always semantically identical (bit-identical output is enforced
-by the determinism test harness).
+lists and the results ever crosses a pipe.  Each concurrent build
+registers its payload under a distinct token, so two ``build_program``
+calls in different threads cannot clobber each other's shared state.
+
+Failure handling is a ladder, not a cliff.  Each chunk independently gets:
+
+1. bounded in-pool retries with backoff (a crash, timeout, or unpicklable
+   result burns one attempt; a broken pool is rebuilt);
+2. a serial re-run in the parent process once retries are exhausted;
+3. only an error raised *by the compiler itself* during that serial
+   re-run propagates — as a typed :class:`~repro.errors.ReproError`.
+
+Every step down the ladder is recorded as a structured
+:class:`~repro.pipeline.report.DegradationEvent`; none of them can change
+the produced binary (bit-identical output is enforced by the determinism
+and fault-injection test harnesses).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-#: Read-only payload shared with forked workers (set before pool creation).
-_SHARED: Dict[str, object] = {}
+from repro.errors import BuildError, WorkerCrashError
+from repro.pipeline.faults import FaultPlan
+from repro.pipeline.report import BuildReport
+
+#: Read-only payloads shared with forked workers, keyed by build token.
+#: Concurrent builds own distinct tokens; entries exist only while a
+#: parallel phase is in flight.
+_REGISTRY: Dict[int, Dict[str, object]] = {}
+_REGISTRY_LOCK = threading.Lock()
+_TOKENS = itertools.count(1)
+
+
+def _register(payload: Dict[str, object]) -> int:
+    with _REGISTRY_LOCK:
+        token = next(_TOKENS)
+        _REGISTRY[token] = payload
+    return token
+
+
+def _unregister(token: int) -> None:
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(token, None)
 
 
 def resolve_workers(workers: int) -> int:
-    """Translate the config knob into a worker count (0 = auto)."""
+    """Translate the config knob into a worker count (0 = auto).
+
+    Uses :func:`os.cpu_count` (which returns ``None`` rather than raising
+    when the platform cannot tell, unlike ``multiprocessing.cpu_count``)
+    and clamps nonsensical negative requests to serial.
+    """
     if workers == 0:
-        return max(1, multiprocessing.cpu_count() - 1)
+        try:
+            count = os.cpu_count()
+        except NotImplementedError:  # exotic platforms
+            count = None
+        return max(1, (count or 2) - 1)
     return max(1, workers)
 
 
-def _run_forked(worker, chunks: Sequence[object],
-                workers: int) -> Optional[List[object]]:
-    """Map ``worker`` over ``chunks`` in a fork pool; None on any failure."""
-    if not chunks:
-        return []
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # platform without fork
-        return None
-    try:
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(chunks)),
-                mp_context=ctx) as pool:
-            return list(pool.map(worker, chunks))
-    except Exception:
-        return None
+# --- chunk workers -----------------------------------------------------------
 
 
-# --- frontend: SIL -> optimized LIR ------------------------------------------
-
-
-def _lower_chunk(names: List[str]) -> List[Tuple[str, object]]:
+def _lower_chunk(payload: Dict[str, object],
+                 names: Sequence[str]) -> List[Tuple[str, object]]:
     from repro.lir.irgen import ModuleIRGen
     from repro.pipeline.build import optimize_module
 
-    sil_by_name = _SHARED["sil_by_name"]
-    signatures = _SHARED["signatures"]
+    sil_by_name = payload["sil_by_name"]
+    signatures = payload["signatures"]
     out = []
     for name in names:
         module = ModuleIRGen(sil_by_name[name], signatures).run()
@@ -68,42 +97,13 @@ def _lower_chunk(names: List[str]) -> List[Tuple[str, object]]:
     return out
 
 
-def lower_modules(sil_by_name: Dict[str, object], signatures: Dict[str, object],
-                  names: Sequence[str],
-                  workers: int) -> Optional[Dict[str, object]]:
-    """Lower ``names`` to optimized LIR across ``workers`` processes.
-
-    Returns name -> LIRModule, or None if the parallel path failed (caller
-    must fall back to serial lowering).
-    """
-    if workers <= 1:
-        return None
-    _SHARED["sil_by_name"] = sil_by_name
-    _SHARED["signatures"] = signatures
-    try:
-        chunks = [list(names[i::workers]) for i in range(workers)]
-        chunks = [c for c in chunks if c]
-        results = _run_forked(_lower_chunk, chunks, workers)
-    finally:
-        _SHARED.clear()
-    if results is None:
-        return None
-    lowered: Dict[str, object] = {}
-    for chunk_result in results:
-        for name, module in chunk_result:
-            lowered[name] = module
-    return lowered
-
-
-# --- backend: per-module llc (default pipeline) ------------------------------
-
-
-def _llc_chunk(indices: List[int]) -> List[Tuple[int, object]]:
+def _llc_chunk(payload: Dict[str, object],
+               indices: Sequence[int]) -> List[Tuple[int, object]]:
     from repro.backend.llc import LLCOptions, run_llc
 
-    lir_modules = _SHARED["lir_modules"]
-    rounds = _SHARED["outline_rounds"]
-    collect = _SHARED["collect_stats"]
+    lir_modules = payload["lir_modules"]
+    rounds = payload["outline_rounds"]
+    collect = payload["collect_stats"]
     out = []
     for i in indices:
         module = lir_modules[i]
@@ -114,24 +114,248 @@ def _llc_chunk(indices: List[int]) -> List[Tuple[int, object]]:
     return out
 
 
+_CHUNK_FUNCS = {"lower": _lower_chunk, "llc": _llc_chunk}
+
+
+# --- pool task (runs in the worker process) ----------------------------------
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One chunk attempt shipped to a pool worker (small and picklable)."""
+
+    kind: str
+    token: int
+    chunk: Tuple
+    index: int
+    attempt: int
+    plan: Optional[FaultPlan]
+
+    @property
+    def site(self) -> str:
+        return f"{self.kind}:{self.index}:a{self.attempt}"
+
+
+def _run_task(task: _Task):
+    """Pool entry point.  Fault injection happens only here, in the worker
+    process — the parent's serial re-runs call the chunk functions
+    directly and are therefore immune by construction."""
+    payload = _REGISTRY[task.token]
+    if task.plan is not None:
+        if task.plan.should_fire("worker_crash", task.site):
+            os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
+        if task.plan.should_fire("worker_hang", task.site):
+            time.sleep(task.plan.hang_seconds)
+    result = _CHUNK_FUNCS[task.kind](payload, task.chunk)
+    if (task.plan is not None
+            and task.plan.should_fire("pickle_failure", task.site)):
+        return lambda: result  # lambdas don't pickle -> result send fails
+    return result
+
+
+# --- the degradation ladder --------------------------------------------------
+
+
+def run_chunks(kind: str, payload: Dict[str, object],
+               chunks: Sequence[Tuple], workers: int, *,
+               plan: Optional[FaultPlan] = None,
+               report: Optional[BuildReport] = None,
+               phase: str = "",
+               chunk_timeout: Optional[float] = None,
+               max_retries: int = 2,
+               retry_backoff: float = 0.05,
+               fail_fast: bool = False) -> List[object]:
+    """Run every chunk to completion, degrading per-chunk as needed.
+
+    Returns results aligned with ``chunks``.  Recoverable failures (worker
+    crash, hang past ``chunk_timeout``, unpicklable result, no fork, pool
+    creation failure) are absorbed by retry / serial re-run and recorded
+    on ``report``; only a failure of the serial in-parent re-run — a real
+    compiler error — propagates.
+
+    With ``fail_fast=True`` the ladder is disabled: the first chunk
+    failure raises a typed error (:class:`~repro.errors.WorkerCrashError`
+    for a dead or hung worker, :class:`~repro.errors.BuildError`
+    otherwise) instead of degrading.  Useful in CI, where a flaky worker
+    should be *noticed*, not papered over.
+    """
+    if not chunks:
+        return []
+    token = _register(payload)
+    try:
+        return _run_chunks_registered(
+            kind, payload, chunks, workers, token, plan=plan, report=report,
+            phase=phase, chunk_timeout=chunk_timeout, max_retries=max_retries,
+            retry_backoff=retry_backoff, fail_fast=fail_fast)
+    finally:
+        _unregister(token)
+
+
+def _degrade(report: Optional[BuildReport], kind: str, phase: str,
+             detail: str, chunk: int = -1, attempt: int = 0) -> None:
+    if report is not None:
+        report.degrade(kind, phase=phase, detail=detail, chunk=chunk,
+                       attempt=attempt)
+
+
+def _run_chunks_registered(kind, payload, chunks, workers, token, *, plan,
+                           report, phase, chunk_timeout, max_retries,
+                           retry_backoff, fail_fast=False) -> List[object]:
+    results: Dict[int, object] = {}
+    pending = list(range(len(chunks)))
+
+    ctx = None
+    if plan is not None and plan.fork_unavailable:
+        _degrade(report, "no-fork", phase, "fault injection: fork disabled")
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            _degrade(report, "no-fork", phase,
+                     "platform has no fork start method")
+
+    pool = None
+    if ctx is not None:
+        for attempt in range(max_retries + 1):
+            if not pending:
+                break
+            if pool is None:
+                try:
+                    pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=min(workers, len(pending)),
+                        mp_context=ctx)
+                except Exception as exc:
+                    _degrade(report, "pool-unavailable", phase,
+                             f"{type(exc).__name__}: {exc}")
+                    break
+            if attempt and retry_backoff:
+                time.sleep(retry_backoff * attempt)
+            futures = {
+                i: pool.submit(_run_task, _Task(kind=kind, token=token,
+                                                chunk=tuple(chunks[i]),
+                                                index=i, attempt=attempt,
+                                                plan=plan))
+                for i in pending}
+            still: List[int] = []
+            pool_dead = False
+            for i, fut in futures.items():
+                try:
+                    results[i] = fut.result(timeout=chunk_timeout)
+                except concurrent.futures.TimeoutError:
+                    if fail_fast:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise WorkerCrashError(
+                            f"{phase or kind} chunk {i}: no result within "
+                            f"{chunk_timeout:g}s", chunk=i, attempt=attempt)
+                    _degrade(report, "chunk-timeout", phase,
+                             f"no result within {chunk_timeout:g}s",
+                             chunk=i, attempt=attempt)
+                    still.append(i)
+                    pool_dead = True  # a hung worker still occupies a slot
+                except BrokenProcessPool as exc:
+                    if fail_fast:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise WorkerCrashError(
+                            f"{phase or kind} chunk {i}: "
+                            f"{exc or 'worker process died'}",
+                            chunk=i, attempt=attempt)
+                    _degrade(report, "worker-crash", phase,
+                             str(exc) or "worker process died",
+                             chunk=i, attempt=attempt)
+                    still.append(i)
+                    pool_dead = True
+                except Exception as exc:
+                    if fail_fast:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise BuildError(
+                            f"{phase or kind} chunk {i} failed: "
+                            f"{type(exc).__name__}: {exc}") from exc
+                    _degrade(report, "chunk-error", phase,
+                             f"{type(exc).__name__}: {exc}",
+                             chunk=i, attempt=attempt)
+                    still.append(i)
+            pending = still
+            if pool_dead:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # Last rung: recompile the survivors serially in this process.  The
+    # chunk functions are pure, so the result is bit-identical to what a
+    # healthy worker would have produced.
+    for i in pending:
+        _degrade(report, "chunk-serial-rerun", phase,
+                 "recompiled in parent after pool attempts exhausted",
+                 chunk=i)
+        results[i] = _CHUNK_FUNCS[kind](payload, chunks[i])
+    return [results[i] for i in range(len(chunks))]
+
+
+# --- frontend: SIL -> optimized LIR ------------------------------------------
+
+
+def _round_robin(items: Sequence, workers: int) -> List[List]:
+    chunks = [list(items[i::workers]) for i in range(workers)]
+    return [c for c in chunks if c]
+
+
+def lower_modules(sil_by_name: Dict[str, object],
+                  signatures: Dict[str, object],
+                  names: Sequence[str], workers: int, *,
+                  plan: Optional[FaultPlan] = None,
+                  report: Optional[BuildReport] = None,
+                  chunk_timeout: Optional[float] = None,
+                  max_retries: int = 2,
+                  retry_backoff: float = 0.05,
+                  fail_fast: bool = False) -> Optional[Dict[str, object]]:
+    """Lower ``names`` to optimized LIR across ``workers`` processes.
+
+    Returns name -> LIRModule, or None when the request is inherently
+    serial (``workers <= 1``) and the caller's serial path should run.
+    """
+    if workers <= 1:
+        return None
+    payload = {"sil_by_name": dict(sil_by_name),
+               "signatures": dict(signatures)}
+    chunks = _round_robin(list(names), workers)
+    results = run_chunks("lower", payload, chunks, workers, plan=plan,
+                         report=report, phase="lower",
+                         chunk_timeout=chunk_timeout,
+                         max_retries=max_retries,
+                         retry_backoff=retry_backoff,
+                         fail_fast=fail_fast)
+    lowered: Dict[str, object] = {}
+    for chunk_result in results:
+        for name, module in chunk_result:
+            lowered[name] = module
+    return lowered
+
+
+# --- backend: per-module llc (default pipeline) ------------------------------
+
+
 def llc_modules(lir_modules: Sequence[object], outline_rounds: int,
-                collect_stats: bool,
-                workers: int) -> Optional[List[object]]:
+                collect_stats: bool, workers: int, *,
+                plan: Optional[FaultPlan] = None,
+                report: Optional[BuildReport] = None,
+                chunk_timeout: Optional[float] = None,
+                max_retries: int = 2,
+                retry_backoff: float = 0.05,
+                fail_fast: bool = False) -> Optional[List[object]]:
     """Run per-module llc in parallel; returns outputs in module order."""
     if workers <= 1 or len(lir_modules) <= 1:
         return None
-    _SHARED["lir_modules"] = list(lir_modules)
-    _SHARED["outline_rounds"] = outline_rounds
-    _SHARED["collect_stats"] = collect_stats
-    try:
-        indices = list(range(len(lir_modules)))
-        chunks = [indices[i::workers] for i in range(workers)]
-        chunks = [c for c in chunks if c]
-        results = _run_forked(_llc_chunk, chunks, workers)
-    finally:
-        _SHARED.clear()
-    if results is None:
-        return None
+    payload = {"lir_modules": list(lir_modules),
+               "outline_rounds": outline_rounds,
+               "collect_stats": collect_stats}
+    chunks = _round_robin(list(range(len(lir_modules))), workers)
+    results = run_chunks("llc", payload, chunks, workers, plan=plan,
+                         report=report, phase="llc",
+                         chunk_timeout=chunk_timeout,
+                         max_retries=max_retries,
+                         retry_backoff=retry_backoff,
+                         fail_fast=fail_fast)
     ordered: List[object] = [None] * len(lir_modules)
     for chunk_result in results:
         for i, llc_out in chunk_result:

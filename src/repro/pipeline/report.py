@@ -16,6 +16,37 @@ from typing import Dict, Iterator, List
 
 
 @dataclass
+class DegradationEvent:
+    """One recovery action the orchestrator took instead of failing.
+
+    ``kind`` is a stable machine-readable tag; the full set is documented
+    in DESIGN.md ("Failure model and degradation ladder"):
+
+    * ``worker-crash`` / ``chunk-timeout`` / ``chunk-error`` — a chunk
+      attempt failed (the detail says why) and was retried or re-run;
+    * ``chunk-serial-rerun`` — a chunk exhausted its pool retries and was
+      recompiled serially in the parent process;
+    * ``no-fork`` / ``pool-unavailable`` — the platform (or an injected
+      fault) prevented a worker pool; the phase ran serially;
+    * ``cache-quarantine`` / ``cache-store-failed`` — a corrupt cache
+      entry was moved aside, or a store did not complete.
+    """
+
+    kind: str
+    phase: str = ""
+    detail: str = ""
+    chunk: int = -1
+    attempt: int = 0
+
+    def render(self) -> str:
+        where = f" [{self.phase}" + (
+            f" chunk {self.chunk}" if self.chunk >= 0 else "") + "]"
+        attempt = f" (attempt {self.attempt})" if self.attempt else ""
+        detail = f": {self.detail}" if self.detail else ""
+        return f"{self.kind}{where}{attempt}{detail}"
+
+
+@dataclass
 class BuildReport:
     """What one build did and how long each phase took."""
 
@@ -36,6 +67,10 @@ class BuildReport:
     phase_wall: Dict[str, float] = field(default_factory=dict)
     #: Free-form notes (e.g. "parallel frontend fell back to serial").
     notes: List[str] = field(default_factory=list)
+    #: Structured recovery actions (retries, serial re-runs, quarantines).
+    degradations: List[DegradationEvent] = field(default_factory=list)
+    #: Whether the post-link verifier checked the returned image.
+    image_verified: bool = False
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -53,6 +88,14 @@ class BuildReport:
 
     def note(self, message: str) -> None:
         self.notes.append(message)
+
+    def degrade(self, kind: str, phase: str = "", detail: str = "",
+                chunk: int = -1, attempt: int = 0) -> DegradationEvent:
+        """Record (and return) a structured degradation event."""
+        event = DegradationEvent(kind=kind, phase=phase, detail=detail,
+                                 chunk=chunk, attempt=attempt)
+        self.degradations.append(event)
+        return event
 
     def summary_lines(self) -> List[str]:
         """Human-readable report (CLI `build` output)."""
@@ -73,6 +116,10 @@ class BuildReport:
                               for name, secs in self.phase_wall.items())
             lines.append(f"wall:      {parts} "
                          f"(total {self.total_wall * 1000:.0f}ms)")
+        if self.image_verified:
+            lines.append("verify:    image verified")
+        for event in self.degradations:
+            lines.append(f"degraded:  {event.render()}")
         for note in self.notes:
             lines.append(f"note:      {note}")
         return lines

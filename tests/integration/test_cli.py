@@ -35,6 +35,18 @@ def run_cli(args):
     return code, captured.getvalue()
 
 
+def run_cli_err(args):
+    """Like run_cli but also captures stderr (for diagnostics)."""
+    out, err = io.StringIO(), io.StringIO()
+    old_out, old_err = sys.stdout, sys.stderr
+    sys.stdout, sys.stderr = out, err
+    try:
+        code = main(args)
+    finally:
+        sys.stdout, sys.stderr = old_out, old_err
+    return code, out.getvalue(), err.getvalue()
+
+
 def test_build_reports_sizes(source_file):
     code, out = run_cli(["build", source_file, "--rounds", "3"])
     assert code == 0
@@ -96,3 +108,75 @@ def test_multiple_modules(tmp_path):
     code, out = run_cli(["run", str(lib), str(app)])
     assert code == 0
     assert out.strip() == "12"
+
+
+class TestErrorHandling:
+    """`python -m repro` must exit 1 with a one-line diagnostic on any
+    toolchain error — never dump a traceback on the user."""
+
+    def test_parse_error_is_a_one_line_diagnostic(self, tmp_path):
+        path = tmp_path / "Broken.sw"
+        path.write_text("func main() { print(1 + ) }\n")
+        code, out, err = run_cli_err(["build", str(path)])
+        assert code == 1
+        assert err.startswith("error: ")
+        assert "Broken.sw:1:" in err  # file:line:col survives
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_sema_error_is_a_one_line_diagnostic(self, tmp_path):
+        path = tmp_path / "Typo.sw"
+        path.write_text("func main() { print(noSuchFunction(x: 1)) }\n")
+        code, out, err = run_cli_err(["run", str(path)])
+        assert code == 1
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_missing_source_file(self):
+        code, out, err = run_cli_err(["build", "/no/such/file.sw"])
+        assert code == 1
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bad_fault_spec(self, source_file):
+        code, out, err = run_cli_err(["build", source_file,
+                                      "--inject-faults", "bogus=1"])
+        assert code == 1
+        assert "bad fault spec" in err
+
+
+class TestRobustnessFlags:
+    def test_faulted_build_degrades_and_still_answers(self, source_file,
+                                                      tmp_path):
+        lib = tmp_path / "Lib.sw"
+        lib.write_text("func triple(x: Int) -> Int { return x * 3 }\n"
+                       "func quad(x: Int) -> Int { return x * 4 }\n")
+        app = tmp_path / "Main.sw"
+        app.write_text("import Lib\n"
+                       "func main() { print(triple(x: 4) + quad(x: 1)) }\n")
+        code, out, err = run_cli_err(
+            ["run", str(lib), str(app), "--pipeline", "default",
+             "--workers", "2",
+             "--inject-faults", "seed=9,crash=1"])
+        assert code == 0
+        assert out.strip() == "16"
+
+    def test_build_prints_degradations(self, tmp_path):
+        lib = tmp_path / "Lib.sw"
+        lib.write_text("func t(x: Int) -> Int { return x * 3 }\n")
+        app = tmp_path / "Main.sw"
+        app.write_text("import Lib\nfunc main() { print(t(x: 4)) }\n")
+        code, out = run_cli(["build", str(lib), str(app), "--pipeline",
+                             "default", "--workers", "2",
+                             "--inject-faults", "seed=9,crash=1"])
+        assert code == 0
+        assert "degraded:" in out
+        assert "chunk-serial-rerun" in out
+
+    def test_verify_flag_shows_in_report(self, source_file):
+        code, out = run_cli(["build", source_file])
+        assert code == 0
+        assert "image verified" in out
+        code, out = run_cli(["build", source_file, "--no-verify-image"])
+        assert code == 0
+        assert "image verified" not in out

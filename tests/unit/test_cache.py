@@ -1,9 +1,13 @@
 """Unit tests for the content-addressed build cache (pipeline/cache.py):
 keying, hit/miss behaviour on edits, invalidation on config/version
-changes, and corrupted-entry recovery."""
+changes, corrupted-entry recovery (quarantine), torn-write crash safety,
+and advisory locking for concurrent builds sharing one cache dir."""
 
 import glob
+import multiprocessing
 import os
+import threading
+import time
 
 from repro.frontend.parser import parse_module
 from repro.pipeline import BuildConfig, build_program
@@ -15,6 +19,7 @@ from repro.pipeline.cache import (
     meta_from_ast,
     module_keys,
 )
+from repro.pipeline.faults import FaultPlan
 
 LIB = """
 class Pair {
@@ -121,6 +126,96 @@ class TestModuleCacheStore:
         assert cache.store(key, {"ok": True})
         assert cache.load(key) == {"ok": True}
 
+    def test_corrupted_entry_is_quarantined_for_inspection(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        key = "ef" * 32
+        cache.store(key, {"ok": True})
+        with open(cache._path(key), "wb") as fh:
+            fh.write(b"garbage bytes")
+        assert cache.load(key) is None
+        assert cache.stats.quarantined == 1
+        qpath = cache._quarantine_path(key)
+        assert os.path.exists(qpath)
+        with open(qpath, "rb") as fh:
+            assert fh.read() == b"garbage bytes"
+
+    def test_stuck_corrupt_entry_raises_typed_error(self, tmp_path,
+                                                    monkeypatch):
+        # A corrupt entry that can be neither quarantined nor deleted
+        # would poison every future build, so that one case escalates to
+        # CacheCorruptionError rather than failing silently forever.
+        import pytest
+
+        from repro.errors import CacheCorruptionError
+
+        cache = ModuleCache(str(tmp_path))
+        key = "ba" * 32
+        cache.store(key, {"ok": True})
+        with open(cache._path(key), "wb") as fh:
+            fh.write(b"garbage bytes")
+
+        def deny(*_args, **_kw):
+            raise PermissionError("read-only filesystem")
+
+        monkeypatch.setattr(cache_mod.os, "replace", deny)
+        monkeypatch.setattr(cache_mod.os, "unlink", deny)
+        with pytest.raises(CacheCorruptionError):
+            cache.load(key)
+
+    def test_injected_corruption_recovers(self, tmp_path):
+        plan = FaultPlan(seed=1, cache_corrupt_rate=1.0)
+        cache = ModuleCache(str(tmp_path), fault_plan=plan)
+        key = "01" * 32
+        cache.store(key, {"ok": True})
+        assert cache.load(key) is None  # scrambled on the way in
+        assert cache.stats.quarantined == 1
+        # A fault-free cache on the same dir sees a clean (empty) slot.
+        clean = ModuleCache(str(tmp_path))
+        assert clean.load(key) is None
+        assert clean.stats.errors == 0
+
+    def test_torn_write_never_publishes_the_key(self, tmp_path):
+        plan = FaultPlan(seed=2, torn_write_rate=1.0)
+        cache = ModuleCache(str(tmp_path), fault_plan=plan)
+        key = "23" * 32
+        assert not cache.store(key, {"ok": True})
+        assert cache.stats.torn_writes == 1
+        assert not os.path.exists(cache._path(key))
+        # No temp droppings under the objects tree either.
+        leftovers = glob.glob(str(tmp_path / "objects" / "*" / "*.tmp"))
+        assert leftovers == []
+        # And the previous value (if any) must survive a later torn write.
+        healthy = ModuleCache(str(tmp_path))
+        healthy.store(key, {"v": 1})
+        assert not cache.store(key, {"v": 2})
+        assert healthy.load(key) == {"v": 1}
+
+    def test_lock_contention_blocks_then_succeeds(self, tmp_path):
+        fcntl = cache_mod.fcntl
+        if fcntl is None:
+            return  # platform without flock: locking is a no-op
+        cache = ModuleCache(str(tmp_path))
+        key = "45" * 32
+        # Hold the entry's advisory lock from a second descriptor, as a
+        # concurrent build process would.
+        lock_dir = os.path.join(cache.root, "locks")
+        os.makedirs(lock_dir, exist_ok=True)
+        fd = os.open(os.path.join(lock_dir, f"{key[:16]}.lock"),
+                     os.O_CREAT | os.O_RDWR)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        stored = []
+        t = threading.Thread(target=lambda: stored.append(
+            cache.store(key, {"ok": True})))
+        t.start()
+        time.sleep(0.15)
+        assert not stored  # writer is parked on the lock, not failing
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+        t.join(timeout=5)
+        assert stored == [True]
+        assert cache.stats.lock_failures == 1
+        assert cache.load(key) == {"ok": True}
+
 
 class TestBuildLevelCaching:
     def _config(self, tmp_path, **kw):
@@ -183,6 +278,42 @@ class TestBuildLevelCaching:
         assert rebuilt.report.cache_hits == 0
         assert (rebuilt.image.text_section()
                 == reference.image.text_section())
+        # Recovery shows up as a structured degradation event.
+        assert any(e.kind == "cache-quarantine"
+                   for e in rebuilt.report.degradations)
         # And the repaired cache serves hits again.
         warm = build_program(sources, self._config(tmp_path))
+        assert warm.report.image_cache_hit
+
+
+def _build_into_queue(cache_dir, queue):
+    sources = dict(_sources())
+    result = build_program(sources, BuildConfig(
+        outline_rounds=1, incremental=True, cache_dir=cache_dir))
+    queue.put((result.image.text_section(), result.image.data_section()))
+
+
+class TestConcurrentBuilds:
+    def test_two_processes_sharing_one_cache_dir(self, tmp_path):
+        """Races on a shared cache_dir (both builds probing, storing, and
+        image-caching the same keys) must corrupt nothing and change no
+        bits of the output."""
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [ctx.Process(target=_build_into_queue,
+                             args=(str(tmp_path), queue)) for _ in range(2)]
+        for p in procs:
+            p.start()
+        results = [queue.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=120)
+        assert [p.exitcode for p in procs] == [0, 0]
+        reference = build_program(dict(_sources()),
+                                  BuildConfig(outline_rounds=1))
+        expected = (reference.image.text_section(),
+                    reference.image.data_section())
+        assert results == [expected, expected]
+        # The populated cache serves a clean warm hit afterwards.
+        warm = build_program(dict(_sources()), BuildConfig(
+            outline_rounds=1, incremental=True, cache_dir=str(tmp_path)))
         assert warm.report.image_cache_hit

@@ -1,0 +1,177 @@
+"""Unit tests for the fault-tolerant chunk runner (pipeline/parallel.py):
+the degradation ladder, worker-count resolution, and shared-state safety
+for concurrent builds."""
+
+import os
+import threading
+
+import pytest
+
+from repro.errors import BuildError, WorkerCrashError
+from repro.pipeline import parallel
+from repro.pipeline.faults import FaultPlan
+from repro.pipeline.report import BuildReport
+
+
+def _square_chunk(payload, chunk):
+    bias = payload["bias"]
+    return [x * x + bias for x in chunk]
+
+
+@pytest.fixture(autouse=True)
+def _test_kind(monkeypatch):
+    monkeypatch.setitem(parallel._CHUNK_FUNCS, "square", _square_chunk)
+
+
+def _run(chunks, *, plan=None, report=None, bias=0, workers=2, **kw):
+    return parallel.run_chunks("square", {"bias": bias}, chunks, workers,
+                               plan=plan, report=report,
+                               retry_backoff=0.01, **kw)
+
+
+EXPECTED = [[1, 4], [9, 16], [25]]
+CHUNKS = [[1, 2], [3, 4], [5]]
+
+
+class TestResolveWorkers:
+    def test_explicit_counts_pass_through(self):
+        assert parallel.resolve_workers(3) == 3
+        assert parallel.resolve_workers(1) == 1
+
+    def test_negative_requests_clamp_to_serial(self):
+        assert parallel.resolve_workers(-4) == 1
+
+    def test_auto_uses_os_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 9)
+        assert parallel.resolve_workers(0) == 8
+
+    def test_auto_survives_unknown_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert parallel.resolve_workers(0) == 1
+
+    def test_auto_survives_raising_cpu_count(self, monkeypatch):
+        def boom():
+            raise NotImplementedError
+        monkeypatch.setattr(os, "cpu_count", boom)
+        assert parallel.resolve_workers(0) == 1
+
+
+class TestLadder:
+    def test_healthy_pool(self):
+        report = BuildReport()
+        assert _run(CHUNKS, report=report) == EXPECTED
+        assert report.degradations == []
+
+    def test_worker_crash_retries_then_serial_rerun(self):
+        report = BuildReport()
+        plan = FaultPlan(seed=1, worker_crash_rate=1.0)
+        assert _run(CHUNKS, plan=plan, report=report,
+                    max_retries=1) == EXPECTED
+        kinds = {e.kind for e in report.degradations}
+        assert "worker-crash" in kinds
+        assert "chunk-serial-rerun" in kinds
+
+    def test_transient_crash_recovers_in_pool(self):
+        # With a sub-1.0 rate and fresh decisions per attempt, enough
+        # retries let every chunk finish inside the pool eventually; the
+        # serial rung stays available either way — all results are right.
+        report = BuildReport()
+        plan = FaultPlan(seed=2, worker_crash_rate=0.5)
+        assert _run(CHUNKS, plan=plan, report=report,
+                    max_retries=4) == EXPECTED
+        assert any(e.kind == "worker-crash" for e in report.degradations)
+
+    def test_hung_chunk_hits_deadline_then_serial_rerun(self):
+        report = BuildReport()
+        plan = FaultPlan(seed=3, worker_hang_rate=1.0, hang_seconds=5.0)
+        assert _run(CHUNKS, plan=plan, report=report, chunk_timeout=0.1,
+                    max_retries=0) == EXPECTED
+        kinds = [e.kind for e in report.degradations]
+        assert "chunk-timeout" in kinds
+        assert "chunk-serial-rerun" in kinds
+
+    def test_unpicklable_result_degrades(self):
+        report = BuildReport()
+        plan = FaultPlan(seed=4, pickle_failure_rate=1.0)
+        assert _run(CHUNKS, plan=plan, report=report,
+                    max_retries=1) == EXPECTED
+        errors = [e for e in report.degradations if e.kind == "chunk-error"]
+        assert errors and "pickle" in errors[0].detail.lower()
+
+    def test_fork_unavailable_runs_serially(self):
+        report = BuildReport()
+        plan = FaultPlan(seed=5, fork_unavailable=True,
+                         worker_crash_rate=1.0)  # workers never exist
+        assert _run(CHUNKS, plan=plan, report=report) == EXPECTED
+        kinds = [e.kind for e in report.degradations]
+        assert kinds.count("no-fork") == 1
+        assert kinds.count("chunk-serial-rerun") == len(CHUNKS)
+
+    def test_serial_rerun_failure_propagates(self, monkeypatch):
+        def broken(payload, chunk):
+            raise ZeroDivisionError("genuine compiler bug")
+        monkeypatch.setitem(parallel._CHUNK_FUNCS, "square", broken)
+        plan = FaultPlan(seed=6, fork_unavailable=True)
+        with pytest.raises(ZeroDivisionError):
+            _run(CHUNKS, plan=plan, report=BuildReport())
+
+    def test_empty_chunk_list(self):
+        assert _run([]) == []
+
+
+class TestFailFast:
+    """fail_fast=True disables the ladder: the first chunk failure raises
+    a typed error instead of degrading (for CI, where a flaky worker
+    should be noticed, not absorbed)."""
+
+    def test_crash_raises_worker_crash_error(self):
+        plan = FaultPlan(seed=3, worker_crash_rate=1.0)
+        with pytest.raises(WorkerCrashError):
+            _run(CHUNKS, plan=plan, fail_fast=True)
+
+    def test_hang_raises_worker_crash_error(self):
+        plan = FaultPlan(seed=4, worker_hang_rate=1.0, hang_seconds=5.0)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            _run(CHUNKS, plan=plan, fail_fast=True, chunk_timeout=0.1)
+        assert "no result" in str(excinfo.value)
+
+    def test_unpicklable_result_raises_build_error(self):
+        plan = FaultPlan(seed=5, pickle_failure_rate=1.0)
+        with pytest.raises(BuildError) as excinfo:
+            _run(CHUNKS, plan=plan, fail_fast=True)
+        assert not isinstance(excinfo.value, WorkerCrashError)
+
+    def test_healthy_pool_is_unaffected(self):
+        report = BuildReport()
+        assert _run(CHUNKS, report=report, fail_fast=True) == EXPECTED
+        assert report.degradations == []
+
+
+class TestSharedStateIsolation:
+    def test_registry_is_cleared_after_a_run(self):
+        _run(CHUNKS)
+        assert parallel._REGISTRY == {}
+
+    def test_concurrent_runs_do_not_clobber_each_other(self):
+        # Two builds in different threads share the module-level registry;
+        # distinct tokens must keep their payloads (bias) apart.
+        results = {}
+        errors = []
+
+        def build(bias):
+            try:
+                results[bias] = parallel.run_chunks(
+                    "square", {"bias": bias}, CHUNKS, 2, retry_backoff=0.01)
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                errors.append(exc)
+
+        threads = [threading.Thread(target=build, args=(bias,))
+                   for bias in (0, 1000)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results[0] == EXPECTED
+        assert results[1000] == [[v + 1000 for v in chunk]
+                                 for chunk in EXPECTED]
