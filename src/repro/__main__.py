@@ -15,6 +15,7 @@ import argparse
 import os
 import sys
 import time
+from contextlib import contextmanager
 from typing import Dict, List
 
 from repro.errors import DiagnosticError, ReproError
@@ -37,6 +38,40 @@ def _fault_plan(args):
     return FaultPlan.parse(args.inject_faults)
 
 
+@contextmanager
+def _obs_session(args):
+    """Activate a tracer for the command when any observability flag is
+    set; on the way out write ``--trace-out`` / ``--metrics-out`` files
+    and print the ``--profile`` table.
+
+    Exports run in a ``finally`` so a degraded or failed build still
+    leaves its partial trace behind (often the most interesting one).
+    """
+    from repro import obs
+
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    profile = getattr(args, "profile", False)
+    if not (trace_out or metrics_out or profile):
+        yield None
+        return
+    tracer = obs.Tracer()
+    try:
+        with obs.use_tracer(tracer):
+            yield tracer
+    finally:
+        if trace_out:
+            obs.write_chrome_trace(tracer, trace_out)
+            print(f"trace:     {trace_out} (load in chrome://tracing or "
+                  f"https://ui.perfetto.dev)", file=sys.stderr)
+        if metrics_out:
+            obs.write_metrics(tracer, metrics_out)
+            print(f"metrics:   {metrics_out}", file=sys.stderr)
+        if profile:
+            for line in obs.profile_lines(tracer):
+                print(line)
+
+
 def _build(args):
     from repro.pipeline import BuildConfig, build_program
 
@@ -53,7 +88,8 @@ def _build(args):
 
 
 def cmd_build(args) -> int:
-    result, config = _build(args)
+    with _obs_session(args):
+        result, config = _build(args)
     sizes = result.sizes
     print(f"pipeline:  {config.pipeline}, outline rounds: {config.outline_rounds}")
     print(f"code:      {sizes.text_bytes} bytes ({sizes.num_instrs} instructions)")
@@ -72,10 +108,12 @@ def cmd_run(args) -> int:
     from repro.pipeline import run_build
     from repro.sim.timing import DeviceConfig, TimingModel
 
-    result, _ = _build(args)
-    timing = TimingModel(DeviceConfig()) if args.timing else None
-    start = time.time()
-    execution = run_build(result, timing=timing, max_steps=args.max_steps)
+    with _obs_session(args):
+        result, _ = _build(args)
+        timing = TimingModel(DeviceConfig()) if args.timing else None
+        start = time.time()
+        execution = run_build(result, timing=timing,
+                              max_steps=args.max_steps)
     for line in execution.output:
         print(line)
     if args.stats:
@@ -94,7 +132,8 @@ def cmd_patterns(args) -> int:
     from repro.analysis.patterns import mine_build_patterns
     from repro.outliner.stats import pattern_census
 
-    result, _ = _build(args)
+    with _obs_session(args):
+        result, _ = _build(args)
     stats = mine_build_patterns(result)
     census = pattern_census(stats)
     print(f"{census['num_patterns']} profitable patterns, "
@@ -112,7 +151,8 @@ def cmd_patterns(args) -> int:
 
 
 def cmd_disasm(args) -> int:
-    result, _ = _build(args)
+    with _obs_session(args):
+        result, _ = _build(args)
     for module in result.machine_modules:
         for fn in module.functions:
             if args.function and args.function not in fn.name:
@@ -172,6 +212,15 @@ def _add_build_args(parser) -> None:
                         help="seeded fault injection, e.g. "
                              "'seed=7,crash=0.3,corrupt=1' (keys: seed, "
                              "crash, hang, pickle, corrupt, torn, nofork)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome trace_event JSON of the build "
+                             "(load in chrome://tracing or Perfetto)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the build's metrics (counters/gauges/"
+                             "histograms) as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-span/per-metric summary table "
+                             "after the command")
 
 
 def main(argv=None) -> int:

@@ -17,6 +17,7 @@ from repro.backend.regalloc import allocate_function
 from repro.isa.instructions import MachineFunction, MachineGlobal, MachineModule
 from repro.lir import ir
 from repro.lir.passes import phielim
+from repro.obs import trace
 
 
 @dataclass
@@ -73,15 +74,19 @@ def run_llc(module: ir.LIRModule,
             options: Optional[LLCOptions] = None) -> LLCResult:
     """Compile a full LIR module, with optional repeated machine outlining."""
     options = options or LLCOptions()
-    machine = MachineModule(name=module.name)
-    for fn in module.functions:
-        machine.functions.append(compile_function(fn))
-    machine.globals = lower_globals(module)
-    stats: List[object] = []
-    if options.outline_rounds > 0:
-        from repro.outliner.repeated import repeated_outline
+    with trace.span("llc-module", kind="llc", module=module.name,
+                    num_functions=len(module.functions)):
+        machine = MachineModule(name=module.name)
+        for fn in module.functions:
+            machine.functions.append(compile_function(fn))
+        machine.globals = lower_globals(module)
+        stats: List[object] = []
+        if options.outline_rounds > 0:
+            from repro.outliner.repeated import repeated_outline
 
-        stats = repeated_outline(machine, rounds=options.outline_rounds,
-                                 collect_stats=options.collect_stats,
-                                 name_prefix=options.outlined_name_prefix)
+            stats = repeated_outline(machine, rounds=options.outline_rounds,
+                                     collect_stats=options.collect_stats,
+                                     name_prefix=options.outlined_name_prefix)
+        trace.metrics().inc("llc.modules")
+        trace.metrics().inc("llc.functions", len(machine.functions))
     return LLCResult(module=machine, outline_stats=stats)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.obs import Tracer, use_tracer
 from repro.pipeline import BuildConfig, BuildResult, build_program
 from repro.workloads.appgen import AppSpec, generate_app
 
@@ -36,6 +37,27 @@ def build_app(spec: AppSpec, config: Optional[BuildConfig] = None) -> BuildResul
     """Generate + build the synthetic app under one configuration."""
     sources = generate_app(spec)
     return build_program(sources, config or BuildConfig())
+
+
+def traced_build(spec: AppSpec,
+                 config: Optional[BuildConfig] = None) -> Tuple[BuildResult,
+                                                                Tracer]:
+    """Build under a fresh :class:`~repro.obs.Tracer`.
+
+    This is the experiments' *only* timing source: with a tracer active,
+    ``BuildResult.report.phase_wall`` is copied verbatim from the span
+    durations (one shared monotonic clock), so a figure script reports
+    exactly the numbers the pipeline recorded — no ad-hoc stopwatches.
+    """
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = build_app(spec, config)
+    return result, tracer
+
+
+def phase_seconds(result: BuildResult) -> Dict[str, float]:
+    """Measured wall seconds per phase, as the pipeline recorded them."""
+    return dict(result.report.phase_wall)
 
 
 def baseline_config() -> BuildConfig:

@@ -26,6 +26,7 @@ from repro.link.binary import (
     RUNTIME_STUB_BASE,
     TEXT_BASE,
 )
+from repro.obs import trace
 from repro.runtime import layout
 from repro.runtime.names import ALL_RUNTIME_SYMBOLS
 
@@ -103,6 +104,15 @@ def link_binary(modules: Sequence[MachineModule],
                 idx = len(image.instrs)
                 image.instrs.append(instr)
                 _resolve(image, fn, instr, idx, label_addr)
+
+    metrics = trace.metrics()
+    if metrics.enabled:
+        metrics.set_gauge("link.input_modules", len(modules))
+        metrics.set_gauge("link.functions", len(all_functions))
+        metrics.set_gauge("link.outlined_functions",
+                          sum(1 for fn in all_functions if fn.is_outlined))
+        metrics.set_gauge("link.text_bytes", image.text_bytes)
+        metrics.set_gauge("link.data_bytes", image.data_bytes)
     return image
 
 

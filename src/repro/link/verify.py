@@ -36,18 +36,28 @@ from typing import List
 from repro.errors import ImageVerifierError
 from repro.isa.instructions import INSTR_BYTES, Opcode, Sym
 from repro.link.binary import BinaryImage
+from repro.obs import trace
 
 
 def verify_image(image: BinaryImage) -> None:
     """Raise :class:`ImageVerifierError` unless ``image`` is sound."""
     problems: List[str] = []
-    _check_text_layout(image, problems)
-    if not problems:
-        # Later checks index by extent; skip them if layout is broken.
-        _check_symbols(image, problems)
-        _check_targets(image, problems)
-        _check_outlined(image, problems)
-        _check_data(image, problems)
+    with trace.span("verify-image", kind="verify",
+                    num_functions=len(image.functions)) as span:
+        _check_text_layout(image, problems)
+        checks = 1
+        if not problems:
+            # Later checks index by extent; skip them if layout is broken.
+            _check_symbols(image, problems)
+            _check_targets(image, problems)
+            _check_outlined(image, problems)
+            _check_data(image, problems)
+            checks = 5
+        span.annotate(checks=checks, problems=len(problems))
+        metrics = trace.metrics()
+        metrics.set_gauge("verify.checks_run", checks)
+        metrics.set_gauge("verify.problems", len(problems))
+        metrics.set_gauge("verify.passed", int(not problems))
     if problems:
         preview = "; ".join(problems[:4])
         more = f" (+{len(problems) - 4} more)" if len(problems) > 4 else ""

@@ -1,0 +1,103 @@
+"""A minimal LIR pass manager with per-pass accounting.
+
+Every pass in this package exposes ``run_on_module(module) -> report``
+(an int count or a metrics dict).  The manager is the one place that
+invokes them, so the one place that observes what each pass did:
+
+* a ``lir-pass:<name>`` span per invocation (module, scope, and the
+  instruction/function deltas as attributes), nested under whichever
+  pipeline phase is active;
+* metrics — ``lir.pass.<name>.runs`` / ``.instrs_removed`` /
+  ``.functions_removed`` counters (net, may go negative for growing
+  passes like the inliner) and a ``lir.pass.<name>.instr_delta``
+  histogram per run.
+
+This mirrors LLVM's ``-time-passes``/pass-instrumentation layering: the
+passes themselves stay oblivious to observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lir import ir
+from repro.obs import trace
+
+PassFn = Callable[[ir.LIRModule], object]
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """What one pass invocation did to one module."""
+
+    name: str
+    module: str
+    instrs_before: int
+    instrs_after: int
+    functions_before: int
+    functions_after: int
+    #: Whatever the pass returned (int count or metrics dict).
+    report: object = None
+
+    @property
+    def instr_delta(self) -> int:
+        return self.instrs_after - self.instrs_before
+
+    @property
+    def function_delta(self) -> int:
+        return self.functions_after - self.functions_before
+
+
+class PassManager:
+    """Runs a fixed pass sequence over modules, recording per-pass deltas."""
+
+    def __init__(self, passes: Sequence[Tuple[str, PassFn]],
+                 scope: str = "module"):
+        self.passes = list(passes)
+        self.scope = scope
+        self.records: List[PassRecord] = []
+
+    def run(self, module: ir.LIRModule) -> Dict[str, object]:
+        """Run every pass in order; returns the last report per pass name."""
+        reports: Dict[str, object] = {}
+        metrics = trace.metrics()
+        for name, run_on_module in self.passes:
+            instrs_before = module.num_instrs
+            fns_before = len(module.functions)
+            with trace.span(f"lir-pass:{name}", kind="lir-pass",
+                            module=module.name, scope=self.scope) as span:
+                report = run_on_module(module)
+                record = PassRecord(
+                    name=name, module=module.name,
+                    instrs_before=instrs_before,
+                    instrs_after=module.num_instrs,
+                    functions_before=fns_before,
+                    functions_after=len(module.functions),
+                    report=report)
+                span.annotate(instr_delta=record.instr_delta,
+                              function_delta=record.function_delta)
+            self.records.append(record)
+            reports[name] = report
+            metrics.inc(f"lir.pass.{name}.runs")
+            metrics.inc(f"lir.pass.{name}.instrs_removed",
+                        -record.instr_delta)
+            metrics.inc(f"lir.pass.{name}.functions_removed",
+                        -record.function_delta)
+            metrics.observe(f"lir.pass.{name}.instr_delta",
+                            record.instr_delta)
+        return reports
+
+
+def osize_pipeline() -> List[Tuple[str, PassFn]]:
+    """The standard per-module -Osize scalar cleanup sequence."""
+    from repro.lir.passes import constprop, dce, mem2reg, simplifycfg
+
+    return [
+        ("mem2reg", mem2reg.run_on_module),
+        ("constprop", constprop.run_on_module),
+        ("dce", dce.run_on_module),
+        ("simplifycfg", simplifycfg.run_on_module),
+        ("constprop", constprop.run_on_module),
+        ("dce", dce.run_on_module),
+    ]

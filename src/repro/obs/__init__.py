@@ -1,0 +1,57 @@
+"""Zero-dependency observability: tracing, metrics, and exporters.
+
+Usage from anywhere in the toolchain (no plumbing required)::
+
+    from repro.obs import trace
+
+    with trace.span("outline-round", round_no=n):
+        ...
+    trace.metrics().inc("outliner.bytes_saved", saved)
+
+Both calls are no-ops (shared singletons, no allocation) unless a build
+activated a real :class:`Tracer` via :func:`trace.use_tracer` — the CLI
+does this for ``--trace-out`` / ``--metrics-out`` / ``--profile``, and
+``experiments.common.traced_build`` does it for figure scripts.
+"""
+
+from repro.obs.export import (
+    chrome_trace_dict,
+    metrics_dict,
+    profile_lines,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_dict",
+    "current_tracer",
+    "metrics_dict",
+    "profile_lines",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,119 @@
+"""Exporters: Chrome ``trace_event`` JSON, flat metrics JSON, CLI table.
+
+The trace file loads directly in ``chrome://tracing`` and in Perfetto
+(https://ui.perfetto.dev -> "Open trace file"): spans become complete
+("X") events, degradation annotations become instant ("i") events, and
+each forked worker chunk gets its own named track so the fan-out of the
+parallel frontend/backend is visible as stacked lanes.
+
+Event *content and ordering* are deterministic for a given build (spans
+are emitted in recorded order, metrics sorted by name); only the ``ts``
+and ``dur`` fields vary run to run, which is what
+``Span.structure()``-based tests compare around.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from repro.obs.trace import NullTracer, Span, Tracer
+
+_PID = 1  # one build = one logical process in the trace
+
+
+def _microseconds(seconds: float, epoch: float) -> float:
+    return round((seconds - epoch) * 1e6, 3)
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """Flatten the span forest into Chrome trace_event dicts."""
+    events: List[dict] = []
+    tracks = {0}
+    epoch = getattr(tracer, "epoch", 0.0)
+    for span in tracer.all_spans():
+        tracks.add(span.track)
+        event = {
+            "name": span.name,
+            "cat": str(span.attrs.get("kind", "build")),
+            "ph": "i" if span.instant else "X",
+            "ts": _microseconds(span.start, epoch),
+            "pid": _PID,
+            "tid": span.track,
+            "args": dict(span.attrs),
+        }
+        if span.instant:
+            event["s"] = "t"  # instant scope: thread
+        else:
+            event["dur"] = round(span.duration * 1e6, 3)
+        events.append(event)
+    # Name the tracks so Perfetto shows "build" / "worker chunk N" lanes.
+    for track in sorted(tracks):
+        name = "build" if track == 0 else f"worker chunk {track - 1}"
+        events.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                       "tid": track, "args": {"name": name}})
+    return events
+
+
+def chrome_trace_dict(tracer: Tracer) -> dict:
+    return {"traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace_dict(tracer), fh, indent=1)
+        fh.write("\n")
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+def metrics_dict(tracer: Union[Tracer, NullTracer]) -> Dict[str, object]:
+    return tracer.metrics.as_dict()
+
+
+def write_metrics(tracer: Union[Tracer, NullTracer], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_dict(tracer), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+# -- human summary (CLI --profile) -------------------------------------------
+
+
+def _aggregate(spans: List[Span], totals: Dict[str, List[float]],
+               depth: int = 0) -> None:
+    for span in spans:
+        if not span.instant:
+            entry = totals.setdefault(span.name, [0.0, 0])
+            entry[0] += span.duration
+            entry[1] += 1
+        _aggregate(span.children, totals, depth + 1)
+
+
+def profile_lines(tracer: Union[Tracer, NullTracer],
+                  top: int = 20) -> List[str]:
+    """Flat self-explanatory profile: span totals, then headline metrics."""
+    totals: Dict[str, List[float]] = {}
+    _aggregate(list(tracer.roots), totals)
+    lines = ["profile (span totals, all occurrences summed):"]
+    if not totals:
+        lines.append("  (no spans recorded)")
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1][0], kv[0]))[:top]
+    width = max((len(name) for name, _ in ranked), default=0)
+    for name, (secs, count) in ranked:
+        lines.append(f"  {name.ljust(width)}  {secs * 1000:9.2f}ms"
+                     f"  x{count}")
+    metrics = tracer.metrics.as_dict()
+    shown = []
+    for kind in ("counters", "gauges"):
+        for name, value in metrics[kind].items():  # already name-sorted
+            shown.append((name, value))
+    if shown:
+        lines.append("metrics:")
+        width = max(len(name) for name, _ in shown)
+        for name, value in shown:
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name.ljust(width)}  {rendered}")
+    return lines

@@ -1,0 +1,148 @@
+"""Counter / gauge / histogram metrics with a per-build registry.
+
+Three instrument kinds, mirroring the usual metrics vocabulary:
+
+* **Counter** — monotonically accumulated totals (``outliner.bytes_saved``,
+  ``sim.instructions_retired``).  Negative increments are allowed so that
+  net deltas (a pass that *grows* a module) stay honest.
+* **Gauge** — last-write-wins point-in-time values (``cache.hits``,
+  ``verify.passed``).
+* **Histogram** — a stream of observations summarised as
+  count/total/min/max/mean (``lir.pass.dce.instr_delta`` per run).
+
+The registry is deliberately dependency-free and deterministic: iteration
+and serialisation order is sorted by metric name, and nothing in the
+payload carries a timestamp, so two runs of the same build dump identical
+metrics JSON.  Forked workers accumulate into their own registry; the
+snapshot travels back with the chunk result and is merged with
+:meth:`MetricsRegistry.merge` (counters add, gauges last-write-wins in
+merge order, histograms combine).
+
+:data:`NULL_METRICS` is the write-discarding registry the no-op tracer
+hands out when observability is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of one histogram (no raw samples retained)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def combine(self, other: "HistogramSummary") -> None:
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.min = other.min if self.min is None else min(self.min, other.min)
+        self.max = other.max if self.max is None else max(self.max, other.max)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "total": self.total,
+                "min": self.min if self.min is not None else 0,
+                "max": self.max if self.max is not None else 0,
+                "mean": self.mean}
+
+
+@dataclass
+class MetricsSnapshot:
+    """Plain, picklable registry contents (crosses the worker pipe)."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramSummary] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Name -> instrument map; one per build (attached to the tracer)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramSummary] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramSummary()
+        hist.observe(value)
+
+    # -- aggregation -------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            histograms={name: HistogramSummary(count=h.count, total=h.total,
+                                               min=h.min, max=h.max)
+                        for name, h in self.histograms.items()})
+
+    def merge(self, snap: MetricsSnapshot) -> None:
+        """Fold a worker snapshot in (counters add, gauges overwrite,
+        histograms combine).  Call in chunk order for determinism."""
+        for name, value in snap.counters.items():
+            self.inc(name, value)
+        for name, value in snap.gauges.items():
+            self.set_gauge(name, value)
+        for name, hist in snap.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = HistogramSummary()
+            mine.combine(hist)
+
+    # -- serialisation -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic (name-sorted) plain-dict dump."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {k: self.histograms[k].as_dict()
+                           for k in sorted(self.histograms)},
+        }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Discards every write; handed out when observability is off."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_METRICS = NullMetricsRegistry()

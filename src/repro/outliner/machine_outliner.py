@@ -62,6 +62,9 @@ class RoundStats:
     functions_created: int = 0
     outlined_fn_bytes: int = 0
     bytes_saved: int = 0
+    #: Profitable candidate patterns the greedy step chose among (before
+    #: overlap pruning against already-taken regions).
+    candidates_considered: int = 0
     patterns: List[OutlinedPattern] = field(default_factory=list)
 
 
@@ -152,6 +155,7 @@ def run_one_round(functions: List[MachineFunction], name_counter: Iterator[int],
 
     # Greedy: maximum immediate benefit first; deterministic tie-breaks.
     candidates.sort(key=lambda c: (-c[0], -c[1], c[2]))
+    stats.candidates_considered = len(candidates)
 
     taken = bytearray(len(program.ids))
     actions: List[_Action] = []

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.isa.instructions import MachineFunction, MachineModule
+from repro.obs import trace
 from repro.outliner.machine_outliner import RoundStats, run_one_round
 
 
@@ -53,9 +54,22 @@ def repeated_outline_functions(functions: List[MachineFunction],
     total_fns = 0
     total_bytes = 0
     total_saved = 0
+    metrics = trace.metrics()
     for round_no in range(1, rounds + 1):
-        stats = run_one_round(functions, name_counter, round_no=round_no,
-                              name_prefix=name_prefix)
+        with trace.span("outline-round", kind="outline-round",
+                        round_no=round_no, prefix=name_prefix) as span:
+            stats = run_one_round(functions, name_counter, round_no=round_no,
+                                  name_prefix=name_prefix)
+            span.annotate(candidates=stats.candidates_considered,
+                          sequences_outlined=stats.sequences_outlined,
+                          functions_created=stats.functions_created,
+                          bytes_saved=stats.bytes_saved)
+        metrics.inc("outliner.rounds")
+        metrics.inc("outliner.candidates", stats.candidates_considered)
+        metrics.inc("outliner.sequences_outlined", stats.sequences_outlined)
+        metrics.inc("outliner.functions_created", stats.functions_created)
+        metrics.inc("outliner.bytes_saved", stats.bytes_saved)
+        metrics.observe("outliner.round_bytes_saved", stats.bytes_saved)
         total_seqs += stats.sequences_outlined
         total_fns += stats.functions_created
         total_bytes += stats.outlined_fn_bytes

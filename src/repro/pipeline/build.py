@@ -33,7 +33,8 @@ from repro.isa.instructions import MachineModule
 from repro.lir import ir as lir_ir
 from repro.lir.irgen import ModuleIRGen, generate_lir
 from repro.lir.linker import LinkOptions, link_modules
-from repro.lir.passes import constprop, dce, globaldce, mem2reg, simplifycfg
+from repro.lir.passes.manager import PassManager, osize_pipeline
+from repro.obs import trace as obs_trace
 from repro.link.binary import BinaryImage
 from repro.link.linker import link_binary
 from repro.link.verify import verify_image
@@ -109,12 +110,36 @@ def frontend_to_lir(sources: SourceModules) -> Tuple[ProgramInfo,
 
 def optimize_module(module: lir_ir.LIRModule) -> None:
     """The standard -Osize scalar cleanup pipeline (opt analog)."""
-    mem2reg.run_on_module(module)
-    constprop.run_on_module(module)
-    dce.run_on_module(module)
-    simplifycfg.run_on_module(module)
-    constprop.run_on_module(module)
-    dce.run_on_module(module)
+    PassManager(osize_pipeline()).run(module)
+
+
+def _wholeprogram_passes(config: BuildConfig):
+    """The merged-IR -Osize sequence (order matters; see Figure 10)."""
+    from repro.lir.passes import constprop, dce, globaldce, simplifycfg
+
+    passes = []
+    if config.global_dce:
+        passes.append(("globaldce", globaldce.run_on_module))
+    if config.enable_inliner:
+        from repro.lir.passes import inliner
+
+        passes.append(("inliner", inliner.run_on_module))
+        if config.global_dce:
+            passes.append(("globaldce", globaldce.run_on_module))
+    if config.enable_merge_functions:
+        from repro.lir.passes import mergefunctions
+
+        passes.append(("mergefunctions", mergefunctions.run_on_module))
+    if config.enable_fmsa:
+        from repro.lir.passes import fmsa
+
+        passes.append(("fmsa", fmsa.run_on_module))
+    passes.extend([
+        ("constprop", constprop.run_on_module),
+        ("dce", dce.run_on_module),
+        ("simplifycfg", simplifycfg.run_on_module),
+    ])
+    return passes
 
 
 def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
@@ -141,27 +166,13 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
                 LinkOptions(gc_metadata_mode=config.gc_metadata_mode,
                             data_layout=config.data_layout))
         with report.phase("opt"):
-            if config.global_dce:
-                globaldce.run_on_module(merged)
-            if config.enable_inliner:
-                from repro.lir.passes import inliner
-
-                result.pass_reports["inliner"] = inliner.run_on_module(merged)
-                if config.global_dce:
-                    globaldce.run_on_module(merged)
-            # Whole-program opt over the merged IR.
-            if config.enable_merge_functions:
-                from repro.lir.passes import mergefunctions
-
-                result.pass_reports["mergefunctions"] = (
-                    mergefunctions.run_on_module(merged))
-            if config.enable_fmsa:
-                from repro.lir.passes import fmsa
-
-                result.pass_reports["fmsa"] = fmsa.run_on_module(merged)
-            constprop.run_on_module(merged)
-            dce.run_on_module(merged)
-            simplifycfg.run_on_module(merged)
+            # Whole-program opt over the merged IR, with per-pass spans
+            # and instruction/function deltas recorded by the manager.
+            reports = PassManager(_wholeprogram_passes(config),
+                                  scope="wholeprogram").run(merged)
+            for name in ("inliner", "mergefunctions", "fmsa"):
+                if name in reports:
+                    result.pass_reports[name] = reports[name]
         result.phase_work["llvm-link"] = merged.num_instrs
         result.phase_work["opt"] = merged.num_instrs
         # llc lowers the pre-outlining program; record its work before the
@@ -362,6 +373,28 @@ def build_program(sources: SourceModules,
     config = config or BuildConfig()
     items = (list(sources.items()) if isinstance(sources, dict)
              else [(name, text) for name, text in sources])
+    with obs_trace.span("build", kind="build", pipeline=config.pipeline,
+                        num_modules=len(items),
+                        outline_rounds=config.outline_rounds):
+        result = _build_program(items, config)
+    _record_size_metrics(result)
+    return result
+
+
+def _record_size_metrics(result: BuildResult) -> None:
+    metrics = obs_trace.metrics()
+    if not metrics.enabled:
+        return
+    sizes = result.sizes
+    metrics.set_gauge("image.text_bytes", sizes.text_bytes)
+    metrics.set_gauge("image.data_bytes", sizes.data_bytes)
+    metrics.set_gauge("image.binary_bytes", sizes.binary_bytes)
+    metrics.set_gauge("image.num_functions", sizes.num_functions)
+    metrics.set_gauge("image.num_instrs", sizes.num_instrs)
+
+
+def _build_program(items: List[Tuple[str, str]],
+                   config: BuildConfig) -> BuildResult:
     report = BuildReport(num_modules=len(items),
                          workers=parallel.resolve_workers(config.workers),
                          cache_enabled=config.incremental)
@@ -382,6 +415,7 @@ def build_program(sources: SourceModules,
             _verify(entry["image"], config, report)
             report.image_cache_hit = True
             _note_cache_recoveries(cache, report)
+            _record_cache_metrics(cache, report)
             return BuildResult(image=entry["image"], program=fe.program,
                                registry=fe.registry, config=config,
                                machine_modules=entry["machine_modules"],
@@ -405,6 +439,7 @@ def build_program(sources: SourceModules,
         report.cache_stores = cache.stats.stores
     if cache is not None:
         _note_cache_recoveries(cache, report)
+    _record_cache_metrics(cache, report)
     return result
 
 
@@ -415,6 +450,25 @@ def _verify(image: BinaryImage, config: BuildConfig,
     with report.phase("verify"):
         verify_image(image)
     report.image_verified = True
+
+
+def _record_cache_metrics(cache: Optional[ModuleCache],
+                          report: BuildReport) -> None:
+    """Fold the cache's own :class:`CacheStats` into the build metrics
+    (all-zero when caching is off, so the metric set is stable)."""
+    metrics = obs_trace.metrics()
+    if not metrics.enabled:
+        return
+    stats = cache.stats if cache is not None else cache_mod.CacheStats()
+    metrics.set_gauge("cache.enabled", int(cache is not None))
+    metrics.set_gauge("cache.hits", stats.hits)
+    metrics.set_gauge("cache.misses", stats.misses)
+    metrics.set_gauge("cache.stores", stats.stores)
+    metrics.set_gauge("cache.errors", stats.errors)
+    metrics.set_gauge("cache.quarantined", stats.quarantined)
+    metrics.set_gauge("cache.torn_writes", stats.torn_writes)
+    metrics.set_gauge("cache.lock_failures", stats.lock_failures)
+    metrics.set_gauge("cache.image_hit", int(report.image_cache_hit))
 
 
 def _note_cache_recoveries(cache: ModuleCache, report: BuildReport) -> None:

@@ -40,6 +40,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BuildError, WorkerCrashError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.trace import Span, Tracer
 from repro.pipeline.faults import FaultPlan
 from repro.pipeline.report import BuildReport
 
@@ -136,6 +139,22 @@ class _Task:
         return f"{self.kind}:{self.index}:a{self.attempt}"
 
 
+@dataclass
+class _TracedChunk:
+    """A chunk result plus the worker-side observability it produced.
+
+    ``fork`` children inherit the parent's *enabled* tracer through the
+    ambient contextvar, but mutations to it die with the child — so the
+    worker records into a fresh tracer and ships the finished spans and
+    metrics back through the result pipe (both are plain picklable
+    dataclasses).  The parent grafts them in chunk order.
+    """
+
+    result: object
+    spans: List[Span]
+    metrics: MetricsSnapshot
+
+
 def _run_task(task: _Task):
     """Pool entry point.  Fault injection happens only here, in the worker
     process — the parent's serial re-runs call the chunk functions
@@ -146,7 +165,19 @@ def _run_task(task: _Task):
             os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
         if task.plan.should_fire("worker_hang", task.site):
             time.sleep(task.plan.hang_seconds)
-    result = _CHUNK_FUNCS[task.kind](payload, task.chunk)
+    if obs_trace.current_tracer().enabled:
+        worker_tracer = Tracer()
+        with obs_trace.use_tracer(worker_tracer):
+            with worker_tracer.span(f"worker-chunk:{task.kind}",
+                                    kind="worker-chunk", chunk=task.index,
+                                    attempt=task.attempt,
+                                    size=len(task.chunk)):
+                inner = _CHUNK_FUNCS[task.kind](payload, task.chunk)
+        result: object = _TracedChunk(result=inner,
+                                      spans=worker_tracer.roots,
+                                      metrics=worker_tracer.metrics.snapshot())
+    else:
+        result = _CHUNK_FUNCS[task.kind](payload, task.chunk)
     if (task.plan is not None
             and task.plan.should_fire("pickle_failure", task.site)):
         return lambda: result  # lambdas don't pickle -> result send fails
@@ -288,8 +319,23 @@ def _run_chunks_registered(kind, payload, chunks, workers, token, *, plan,
         _degrade(report, "chunk-serial-rerun", phase,
                  "recompiled in parent after pool attempts exhausted",
                  chunk=i)
-        results[i] = _CHUNK_FUNCS[kind](payload, chunks[i])
-    return [results[i] for i in range(len(chunks))]
+        with obs_trace.span(f"serial-rerun:{kind}", kind="chunk",
+                            chunk=i, size=len(chunks[i])):
+            results[i] = _CHUNK_FUNCS[kind](payload, chunks[i])
+
+    # Unwrap traced worker results, grafting their spans and metrics onto
+    # the parent tracer *in chunk order* (pool completion order is not
+    # deterministic; this order is).
+    tracer = obs_trace.current_tracer()
+    ordered: List[object] = []
+    for i in range(len(chunks)):
+        result = results[i]
+        if isinstance(result, _TracedChunk):
+            tracer.adopt(result.spans, track=i + 1)
+            tracer.metrics.merge(result.metrics)
+            result = result.result
+        ordered.append(result)
+    return ordered
 
 
 # --- frontend: SIL -> optimized LIR ------------------------------------------

@@ -9,10 +9,11 @@ meaningful relative to each other — cold vs warm, serial vs parallel).
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
+
+from repro.obs import trace as obs_trace
 
 
 @dataclass
@@ -74,13 +75,30 @@ class BuildReport:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Time a phase; nested/repeated uses accumulate."""
-        start = time.perf_counter()
+        """Time a phase; nested/repeated uses accumulate.
+
+        The clock is :func:`repro.obs.trace.now` — the same monotonic
+        source the tracer stamps spans with.  When a tracer is active the
+        phase *is* a span and ``phase_wall`` takes that span's duration
+        verbatim, so the report and the trace can never drift.
+        """
+        tracer = obs_trace.current_tracer()
+        if not tracer.enabled:
+            start = obs_trace.now()
+            try:
+                yield
+            finally:
+                elapsed = obs_trace.now() - start
+                self.phase_wall[name] = (self.phase_wall.get(name, 0.0)
+                                         + elapsed)
+            return
+        span = tracer.start_span(name, kind="phase")
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.phase_wall[name] = self.phase_wall.get(name, 0.0) + elapsed
+            tracer.end_span(span)
+            self.phase_wall[name] = (self.phase_wall.get(name, 0.0)
+                                     + span.duration)
 
     @property
     def total_wall(self) -> float:
@@ -91,10 +109,20 @@ class BuildReport:
 
     def degrade(self, kind: str, phase: str = "", detail: str = "",
                 chunk: int = -1, attempt: int = 0) -> DegradationEvent:
-        """Record (and return) a structured degradation event."""
+        """Record (and return) a structured degradation event.
+
+        When a tracer is active the event also lands on the trace as an
+        instant annotation at the current nesting (so a degraded build's
+        timeline shows *where* the ladder stepped down), and bumps the
+        ``build.degradations`` counter.
+        """
         event = DegradationEvent(kind=kind, phase=phase, detail=detail,
                                  chunk=chunk, attempt=attempt)
         self.degradations.append(event)
+        obs_trace.event(f"degraded:{kind}", kind="degradation", phase=phase,
+                        detail=detail, chunk=chunk, attempt=attempt)
+        obs_trace.metrics().inc("build.degradations")
+        obs_trace.metrics().inc(f"build.degradations.{kind}")
         return event
 
     def summary_lines(self) -> List[str]:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Union
 from repro.errors import SimulationError, TrapError
 from repro.isa.instructions import Cond, MachineInstr, Opcode
 from repro.link.binary import BinaryImage, HEAP_BASE, STACK_BASE
+from repro.obs import trace as obs_trace
 from repro.runtime.functions import HANDLERS
 from repro.runtime.objects import Heap, TypeRegistry
 from repro.sim.timing import TimingModel
@@ -209,6 +210,7 @@ class CPU:
                 timing.on_instr(self.pc)
             self._execute(instrs[idx], idx)
         leaked = self.heap.leaked_objects() if check_leaks else []
+        self._record_metrics(leaked)
         return ExecutionResult(
             output=self.output,
             steps=self.steps,
@@ -218,6 +220,30 @@ class CPU:
             heap_stats=self.heap.stats,
             timing=timing,
         )
+
+    def _record_metrics(self, leaked: List[int]) -> None:
+        """Publish execution counters to the ambient metrics registry
+        (run-end only: the fetch/execute loop stays uninstrumented)."""
+        metrics = obs_trace.metrics()
+        if not metrics.enabled:
+            return
+        metrics.inc("sim.instructions_retired", self.steps)
+        metrics.inc("sim.outlined_instructions", self.outlined_steps)
+        metrics.inc("sim.leaked_objects", len(leaked))
+        timing = self.timing
+        if timing is None:
+            return
+        metrics.inc("sim.cycles", timing.cycles)
+        icache = timing.icache
+        accesses = icache.hits + icache.misses
+        metrics.inc("sim.icache_hits", icache.hits)
+        metrics.inc("sim.icache_misses", icache.misses)
+        metrics.set_gauge("sim.icache_hit_rate",
+                          icache.hits / accesses if accesses else 1.0)
+        metrics.inc("sim.taken_branches", timing.taken_branches)
+        metrics.inc("sim.mispredicts", timing.mispredicts)
+        metrics.inc("sim.text_page_faults", timing.text_page_faults)
+        metrics.inc("sim.data_page_faults", timing.data_page_faults)
 
     # -- native dispatch ----------------------------------------------------------
 
@@ -444,4 +470,10 @@ def run_binary(image: BinaryImage, registry: Optional[TypeRegistry] = None,
                check_leaks: bool = True) -> ExecutionResult:
     """Convenience wrapper: build a CPU and run the image's entry point."""
     cpu = CPU(image, registry=registry, timing=timing, max_steps=max_steps)
-    return cpu.run(entry_symbol=entry_symbol, check_leaks=check_leaks)
+    with obs_trace.span("sim-run", kind="sim",
+                        entry=entry_symbol or image.entry_symbol or "",
+                        timed=timing is not None) as span:
+        result = cpu.run(entry_symbol=entry_symbol, check_leaks=check_leaks)
+        span.annotate(steps=result.steps,
+                      outlined_steps=result.outlined_steps)
+    return result

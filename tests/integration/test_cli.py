@@ -180,3 +180,91 @@ class TestRobustnessFlags:
         code, out = run_cli(["build", source_file, "--no-verify-image"])
         assert code == 0
         assert "image verified" not in out
+
+
+class TestObservabilityFlags:
+    """Acceptance surface for --trace-out / --metrics-out / --profile."""
+
+    @pytest.fixture
+    def modules(self, tmp_path):
+        lib = tmp_path / "Lib.sw"
+        lib.write_text("func scale(x: Int) -> Int {\n"
+                       "    var acc = x\n"
+                       "    for i in 0..<4 { acc += i * x }\n"
+                       "    return acc\n"
+                       "}\n")
+        app = tmp_path / "Main.sw"
+        app.write_text("import Lib\n"
+                       "func main() {\n"
+                       "    var total = 0\n"
+                       "    for i in 0..<5 { total += scale(x: i) }\n"
+                       "    print(total)\n"
+                       "}\n")
+        return [str(lib), str(app)]
+
+    def test_trace_and_metrics_files(self, modules, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code, out, err = run_cli_err(
+            ["build", *modules, "--pipeline", "default", "--workers", "2",
+             "--rounds", "2",
+             "--trace-out", str(trace_path),
+             "--metrics-out", str(metrics_path)])
+        assert code == 0
+        assert "Perfetto" in err or "perfetto" in err
+
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        names = {e["name"] for e in events}
+        # Every pipeline phase, per-pass LIR spans, per-round outliner
+        # spans, and forked-worker chunk spans are on the timeline.
+        for phase in ("build", "parse", "sema", "silgen", "lower",
+                      "llc", "link", "verify"):
+            assert phase in names, phase
+        assert any(n.startswith("lir-pass:") for n in names)
+        assert "outline-round" in names
+        assert any(n.startswith("worker-chunk:") for n in names)
+        assert any(e["tid"] > 0 for e in events if e["ph"] == "X")
+        assert any(e["ph"] == "M" and e["args"]["name"].startswith(
+            "worker chunk") for e in events)
+
+        metrics = json.loads(metrics_path.read_text())
+        counters, gauges = metrics["counters"], metrics["gauges"]
+        assert any(k.startswith("lir.pass.") for k in counters)
+        assert "outliner.rounds" in counters
+        assert "cache.hits" in gauges and "cache.enabled" in gauges
+        assert gauges["verify.passed"] == 1
+        assert gauges["image.text_bytes"] > 0
+
+    def test_profile_prints_summary(self, modules):
+        code, out = run_cli(["build", *modules, "--profile"])
+        assert code == 0
+        assert "profile (span totals" in out
+        assert "metrics:" in out
+
+    def test_tracing_does_not_change_the_binary(self, modules, tmp_path):
+        def size_lines(extra):
+            code, out = run_cli(["build", *modules, "--rounds", "3", *extra])
+            assert code == 0
+            return [line for line in out.splitlines()
+                    if line.startswith(("code:", "data:", "binary:"))]
+
+        untraced = size_lines([])
+        traced = size_lines(["--trace-out", str(tmp_path / "t.json"),
+                             "--metrics-out", str(tmp_path / "m.json")])
+        assert traced == untraced
+
+    def test_trace_survives_a_degraded_build(self, modules, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code, out, err = run_cli_err(
+            ["build", *modules, "--pipeline", "default", "--workers", "2",
+             "--inject-faults", "seed=9,crash=1",
+             "--trace-out", str(trace_path)])
+        assert code == 0
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        assert any(e["ph"] == "i" and e["name"].startswith("degraded:")
+                   for e in events)

@@ -1,0 +1,75 @@
+"""Smoke tests for every experiment module: each ``run()`` completes on a
+tiny corpus, returns its documented result dataclass with populated
+fields, ``format_report`` renders a non-empty string, and nothing drags
+in a plotting backend as a side effect."""
+
+import dataclasses
+import sys
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: name -> (fast kwargs, result field -> truthiness requirement).
+#: Fields listed must exist; ``True`` additionally means "non-empty".
+SMOKE = {
+    "fig1_growth": (dict(scale="tiny", weeks=(0, 8), rounds=2),
+                    {"points": True, "baseline_fit": False,
+                     "optimized_fit": False}),
+    "table1_landscape": (dict(scale="tiny", rounds=2),
+                         {"rows": True, "savings": False}),
+    "fig5_powerlaw": (dict(scale="tiny"),
+                      {"stats": True, "fit": False, "census": True,
+                       "top": True}),
+    "fig6_fractal": (dict(scale="tiny"), {"clusters": True}),
+    "fig7_cumulative": (dict(scale="tiny"),
+                        {"curve": True, "patterns_for_90pct": False,
+                         "total_patterns": False, "total_bytes": False}),
+    "fig8_histogram": (dict(scale="tiny"), {"histogram": True}),
+    "fig11_greedy": (dict(scale="tiny", rounds=2),
+                     {"anecdote": False, "app_round1_saving_pct": False,
+                      "app_final_saving_pct": False}),
+    "fig12_rounds": (dict(scale="tiny", rounds_grid=(0, 1, 2)),
+                     {"points": True}),
+    "table2_stats": (dict(scale="tiny", rounds=2), {"stats": True}),
+    "fig13_spans": (dict(scale="tiny", rounds=2, num_spans=3),
+                    {"cells": True, "spans": True,
+                     "dynamic_outlined_pct": False}),
+    "data_layout": (dict(scale="tiny", rounds=2, num_spans=3),
+                    {"rows": True}),
+    "buildtime": (dict(scale="tiny", rounds_grid=(0, 1, 2)),
+                  {"points": True}),
+    "table4_benchmarks": (dict(names=("GCD", "QuickSort"), rounds=2,
+                               include_pathological=False,
+                               max_steps=2_000_000),
+                          {"rows": True, "pathological": False}),
+    "generality": (dict(rounds=2),
+                   {"corpora": True, "kernel_guard_pattern_found": False}),
+    # future_work's report reads the (inlined, rounds=5) grid cell, so it
+    # keeps the default round count; tiny scale keeps it fast anyway.
+    "future_work": (dict(scale="tiny", num_spans=2),
+                    {"headroom": False, "inline_grid": True,
+                     "layout_rows": True}),
+}
+
+
+def test_smoke_table_covers_every_experiment():
+    assert set(SMOKE) == set(ALL_EXPERIMENTS)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_smoke(name):
+    module = ALL_EXPERIMENTS[name]
+    kwargs, schema = SMOKE[name]
+    result = module.run(**kwargs)
+    assert dataclasses.is_dataclass(result), name
+    for field, must_be_nonempty in schema.items():
+        assert hasattr(result, field), f"{name}.{field}"
+        if must_be_nonempty:
+            assert getattr(result, field), f"{name}.{field} is empty"
+    report = module.format_report(result)
+    assert isinstance(report, str) and report.strip()
+    # Experiments must stay headless: reports are plain text, and running
+    # one must not import a plotting backend as a side effect.
+    assert "matplotlib" not in sys.modules
+    assert "matplotlib.pyplot" not in sys.modules

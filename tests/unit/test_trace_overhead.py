@@ -1,0 +1,69 @@
+"""Tracing must be observationally free: the same build with the tracer
+on and off produces a bit-identical binary, and the traced build stays
+within a generous wall-clock envelope of the untraced one."""
+
+from repro.obs import Tracer, use_tracer
+from repro.obs import trace as obs_trace
+from repro.pipeline import BuildConfig, build_program
+
+SOURCES = {
+    "Lib": """
+func mix(a: Int, b: Int) -> Int {
+    var acc = a * 3 + b
+    for i in 0..<6 { acc += (acc ^ i) % 11 }
+    return acc
+}
+""",
+    "Main": """
+import Lib
+func main() {
+    var total = 0
+    for i in 0..<8 { total += mix(a: i, b: total) }
+    print(total)
+}
+""",
+}
+
+CONFIG = dict(pipeline="wholeprogram", outline_rounds=3)
+
+
+def _image_fingerprint(result):
+    image = result.image
+    return (
+        [instr.render() for instr in image.instrs],
+        [(ext.name, ext.start, ext.end, ext.is_outlined)
+         for ext in image.functions],
+        dict(image.symbols),
+        dict(image.data_init),
+        result.sizes.text_bytes,
+        result.sizes.data_bytes,
+        result.sizes.binary_bytes,
+    )
+
+
+def _timed_build(traced):
+    start = obs_trace.now()
+    if traced:
+        with use_tracer(Tracer()):
+            result = build_program(dict(SOURCES), BuildConfig(**CONFIG))
+    else:
+        result = build_program(dict(SOURCES), BuildConfig(**CONFIG))
+    return result, obs_trace.now() - start
+
+
+def test_traced_build_is_bit_identical_and_cheap():
+    # Warm-up evens out import/JIT-ish first-run costs before timing.
+    _timed_build(traced=False)
+    untraced, untraced_secs = _timed_build(traced=False)
+    traced, traced_secs = _timed_build(traced=True)
+    assert _image_fingerprint(traced) == _image_fingerprint(untraced)
+    # Generous envelope: tracing adds bookkeeping, never real work.
+    assert traced_secs <= untraced_secs * 5.0 + 0.75, (
+        f"traced {traced_secs:.3f}s vs untraced {untraced_secs:.3f}s")
+
+
+def test_untraced_build_allocates_no_spans():
+    result, _ = _timed_build(traced=False)
+    assert result.report.phase_wall  # still timed, via the same clock
+    assert not obs_trace.current_tracer().enabled
+    assert list(obs_trace.current_tracer().all_spans()) == []
