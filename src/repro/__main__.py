@@ -78,6 +78,7 @@ def _build(args):
     config = BuildConfig(pipeline=args.pipeline,
                          outline_rounds=args.rounds,
                          data_layout=args.data_layout,
+                         target=args.target,
                          workers=args.workers,
                          incremental=args.incremental,
                          cache_dir=args.cache_dir,
@@ -91,7 +92,8 @@ def cmd_build(args) -> int:
     with _obs_session(args):
         result, config = _build(args)
     sizes = result.sizes
-    print(f"pipeline:  {config.pipeline}, outline rounds: {config.outline_rounds}")
+    print(f"pipeline:  {config.pipeline}, outline rounds: "
+          f"{config.outline_rounds}, target: {config.target}")
     print(f"code:      {sizes.text_bytes} bytes ({sizes.num_instrs} instructions)")
     print(f"data:      {sizes.data_bytes} bytes")
     print(f"binary:    {sizes.binary_bytes} bytes ({sizes.num_functions} functions)")
@@ -189,6 +191,12 @@ def _add_build_args(parser) -> None:
                         help="machine outlining rounds (default 5)")
     parser.add_argument("--pipeline", default="wholeprogram",
                         choices=("wholeprogram", "default"))
+    from repro.target import available_targets, default_target_name
+    parser.add_argument("--target", default=default_target_name(),
+                        choices=available_targets(),
+                        help="target specification (instruction widths, "
+                             "alignment, calling convention); default "
+                             "$REPRO_TARGET or arm64")
     parser.add_argument("--data-layout", default="module-order",
                         choices=("module-order", "interleaved"))
     parser.add_argument("--workers", type=int, default=1,

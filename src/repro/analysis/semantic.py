@@ -15,13 +15,14 @@ would land between the exact and abstract figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.instructions import MachineFunction, MachineInstr
 from repro.isa.registers import reg_class
 from repro.outliner.candidates import InstructionMapper, prune_overlaps
 from repro.outliner.cost_model import cost_of
 from repro.outliner.suffix_tree import SuffixTree
+from repro.target.spec import TargetSpec
 
 
 class _AbstractingMapper(InstructionMapper):
@@ -62,7 +63,8 @@ class SemanticHeadroom:
 
 
 def _total_benefit(functions: Sequence[MachineFunction],
-                   mapper: InstructionMapper) -> int:
+                   mapper: InstructionMapper,
+                   target: Optional[TargetSpec] = None) -> int:
     program = mapper.map_functions(list(functions))
     if not program.ids:
         return 0
@@ -75,17 +77,22 @@ def _total_benefit(functions: Sequence[MachineFunction],
         starts = prune_overlaps(rs.starts, rs.length)
         if len(starts) < 2:
             continue
-        benefit = cost_of(program.instr_seq(s0, rs.length)).benefit(
+        benefit = cost_of(program.instr_seq(s0, rs.length), target).benefit(
             len(starts))
         if benefit >= 1:
             total += benefit
     return total
 
 
-def measure_headroom(functions: Sequence[MachineFunction]) -> SemanticHeadroom:
-    """Compare exact-match mining against register-abstracted mining."""
+def measure_headroom(functions: Sequence[MachineFunction],
+                     target: Optional[TargetSpec] = None) -> SemanticHeadroom:
+    """Compare exact-match mining against register-abstracted mining.
+
+    Benefits are priced under *target* (default: the session target).
+    """
     return SemanticHeadroom(
-        exact_benefit_bytes=_total_benefit(functions, InstructionMapper()),
-        abstract_benefit_bytes=_total_benefit(functions,
-                                              _AbstractingMapper()),
+        exact_benefit_bytes=_total_benefit(functions, InstructionMapper(),
+                                           target),
+        abstract_benefit_bytes=_total_benefit(functions, _AbstractingMapper(),
+                                              target),
     )

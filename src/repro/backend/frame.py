@@ -17,15 +17,19 @@ Leaf functions with no calls, spills, or callee-saved usage get no frame.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.backend.regalloc import AllocationResult
 from repro.isa.instructions import MachineFunction, MachineInstr, Opcode
-from repro.isa.registers import FP, LR, SP
+from repro.target import get_target
+from repro.target.spec import TargetSpec
 
 
-def lower_frame(mf: MachineFunction, alloc: AllocationResult) -> None:
+def lower_frame(mf: MachineFunction, alloc: AllocationResult,
+                spec: Optional[TargetSpec] = None) -> None:
     """Insert prologue/epilogue and finalise spill-slot offsets in place."""
+    regs = get_target(spec).regs
+    FP, LR, SP = regs.fp, regs.lr, regs.sp
     has_calls = any(instr.is_call for instr in mf.instructions())
     csrs = list(alloc.used_callee_saved)
     spill_bytes = 8 * alloc.num_spill_slots

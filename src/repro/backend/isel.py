@@ -30,9 +30,10 @@ from repro.isa.instructions import (
     materialize_constant,
     mov_rr,
 )
-from repro.isa.registers import SCRATCH_GPR0, XZR
 from repro.backend import target
 from repro.lir import ir
+from repro.target import get_target
+from repro.target.spec import TargetSpec
 
 _CMP_COND = {
     "==": Cond.EQ,
@@ -71,8 +72,13 @@ def compute_value_classes(fn: ir.LIRFunction) -> Dict[int, bool]:
 class FunctionISel:
     """Selects machine instructions for one LIR function."""
 
-    def __init__(self, fn: ir.LIRFunction):
+    def __init__(self, fn: ir.LIRFunction,
+                 spec: Optional[TargetSpec] = None):
         self.fn = fn
+        self.spec = get_target(spec)
+        self.zero = self.spec.regs.zero
+        self.call_scratch = self.spec.cc.scratch_gprs[0]
+        self.error_reg = self.spec.cc.error_reg
         self.mf = MachineFunction(name=fn.symbol,
                                   source_module=fn.source_module)
         self.value_float = compute_value_classes(fn)
@@ -196,7 +202,7 @@ class FunctionISel:
 
     def _emit_param_moves(self) -> None:
         flags = tuple(self.fn.param_is_float)
-        regs = target.assign_arg_registers(flags)
+        regs = target.assign_arg_registers(flags, self.spec)
         for value, reg, flt in zip(self.fn.params, regs, flags):
             if self.use_count.get(value, 0) == 0:
                 continue
@@ -295,7 +301,7 @@ class FunctionISel:
         if op == "*":
             lhs = self._reg_of(instr.lhs)
             rhs = self._reg_of(instr.rhs)
-            self.emit(MachineInstr(Opcode.MADDXrrr, (dst, lhs, rhs, XZR)))
+            self.emit(MachineInstr(Opcode.MADDXrrr, (dst, lhs, rhs, self.zero)))
             return
         if op in ("/", "%"):
             lhs = self._reg_of(instr.lhs)
@@ -341,10 +347,10 @@ class FunctionISel:
         imm = self._imm(cmp.rhs)
         lhs = self._reg_of(cmp.lhs)
         if imm is not None:
-            self.emit(MachineInstr(Opcode.SUBSXri, (XZR, lhs, imm)))
+            self.emit(MachineInstr(Opcode.SUBSXri, (self.zero, lhs, imm)))
             return
         rhs = self._reg_of(cmp.rhs)
-        self.emit(MachineInstr(Opcode.SUBSXrr, (XZR, lhs, rhs)))
+        self.emit(MachineInstr(Opcode.SUBSXrr, (self.zero, lhs, rhs)))
 
     def _sel_Neg(self, instr: ir.Neg, block_label: str) -> None:
         dst = self._vreg(instr.result)
@@ -352,7 +358,7 @@ class FunctionISel:
         if instr.is_float:
             self.emit(MachineInstr(Opcode.FNEGDr, (dst, src)))
         else:
-            self.emit(MachineInstr(Opcode.SUBXrr, (dst, XZR, src)))
+            self.emit(MachineInstr(Opcode.SUBXrr, (dst, self.zero, src)))
 
     def _sel_Not(self, instr: ir.Not, block_label: str) -> None:
         dst = self._vreg(instr.result)
@@ -432,9 +438,9 @@ class FunctionISel:
         indirect = instr.callee_value is not None
         if indirect:
             callee_reg = self._reg_of(instr.callee_value)
-            self.emit(mov_rr(SCRATCH_GPR0, callee_reg))
+            self.emit(mov_rr(self.call_scratch, callee_reg))
         flags = tuple(self._op_is_float(a) for a in instr.args)
-        regs = target.assign_arg_registers(flags)
+        regs = target.assign_arg_registers(flags, self.spec)
         for arg, reg, flt in zip(instr.args, regs, flags):
             if isinstance(arg, ir.Const):
                 self._materialize(arg, into=reg)
@@ -443,11 +449,11 @@ class FunctionISel:
         implicit_defs: List[str] = []
         if instr.result is not None:
             implicit_defs.append(
-                target.return_register(instr.ret_is_float))
+                target.return_register(instr.ret_is_float, self.spec))
         if instr.throws:
-            implicit_defs.append("x21")
+            implicit_defs.append(self.error_reg)
         if indirect:
-            self.emit(MachineInstr(Opcode.BLR, (SCRATCH_GPR0,),
+            self.emit(MachineInstr(Opcode.BLR, (self.call_scratch,),
                                    implicit_uses=tuple(regs),
                                    implicit_defs=tuple(implicit_defs)))
         else:
@@ -457,16 +463,17 @@ class FunctionISel:
         if instr.result is not None:
             is_float = instr.ret_is_float
             self._emit_move(self._vreg(instr.result),
-                            target.return_register(is_float), is_float)
+                            target.return_register(is_float, self.spec),
+                            is_float)
 
     def _sel_ReadError(self, instr: ir.ReadError, block_label: str) -> None:
-        self.emit(mov_rr(self._vreg(instr.result), "x21"))
+        self.emit(mov_rr(self._vreg(instr.result), self.error_reg))
 
     def _sel_SetError(self, instr: ir.SetError, block_label: str) -> None:
         if isinstance(instr.value, ir.Const):
-            self._materialize(instr.value, into="x21")
+            self._materialize(instr.value, into=self.error_reg)
         else:
-            self.emit(mov_rr("x21", self._vreg(instr.value)))
+            self.emit(mov_rr(self.error_reg, self._vreg(instr.value)))
 
     def _sel_Br(self, instr: ir.Br, block_label: str) -> None:
         self.emit(MachineInstr(Opcode.B, (Label(instr.target),)))
@@ -491,7 +498,7 @@ class FunctionISel:
     def _sel_Ret(self, instr: ir.Ret, block_label: str) -> None:
         if instr.value is not None:
             is_float = self._op_is_float(instr.value) or instr.is_float
-            reg = target.return_register(is_float)
+            reg = target.return_register(is_float, self.spec)
             if isinstance(instr.value, ir.Const):
                 self._materialize(instr.value, into=reg)
             else:
@@ -525,7 +532,7 @@ class FunctionISel:
                 mi for mi in blk.instrs
                 if not (
                     mi.opcode is Opcode.ORRXrs
-                    and mi.operands[1] == XZR
+                    and mi.operands[1] == self.zero
                     and mi.operands[0] == mi.operands[2]
                 ) and not (
                     mi.opcode is Opcode.FMOVDr
@@ -534,6 +541,7 @@ class FunctionISel:
             ]
 
 
-def select_function(fn: ir.LIRFunction) -> MachineFunction:
+def select_function(fn: ir.LIRFunction,
+                    spec: Optional[TargetSpec] = None) -> MachineFunction:
     """Run instruction selection on one LIR function."""
-    return FunctionISel(fn).run()
+    return FunctionISel(fn, spec).run()

@@ -18,6 +18,8 @@ from repro.isa.instructions import MachineFunction, MachineGlobal, MachineModule
 from repro.lir import ir
 from repro.lir.passes import phielim
 from repro.obs import trace
+from repro.target import get_target
+from repro.target.spec import TargetSpec
 
 
 @dataclass
@@ -29,6 +31,8 @@ class LLCOptions:
     #: Namespace for outlined symbols (per-module builds must use the module
     #: name so the system linker does not see clashing clones).
     outlined_name_prefix: str = ""
+    #: Target name or spec (None = session default target).
+    target: Optional[object] = None
 
 
 @dataclass
@@ -38,12 +42,14 @@ class LLCResult:
     outline_stats: List["object"] = field(default_factory=list)
 
 
-def compile_function(fn: ir.LIRFunction) -> MachineFunction:
+def compile_function(fn: ir.LIRFunction,
+                     spec: Optional[TargetSpec] = None) -> MachineFunction:
     """Lower one LIR function to machine code (no outlining)."""
+    spec = get_target(spec)
     phielim.run_on_function(fn)
-    mf = select_function(fn)
-    alloc = allocate_function(mf)
-    lower_frame(mf, alloc)
+    mf = select_function(fn, spec)
+    alloc = allocate_function(mf, spec)
+    lower_frame(mf, alloc, spec)
     return mf
 
 
@@ -74,11 +80,13 @@ def run_llc(module: ir.LIRModule,
             options: Optional[LLCOptions] = None) -> LLCResult:
     """Compile a full LIR module, with optional repeated machine outlining."""
     options = options or LLCOptions()
+    spec = get_target(options.target)  # type: ignore[arg-type]
     with trace.span("llc-module", kind="llc", module=module.name,
-                    num_functions=len(module.functions)):
+                    num_functions=len(module.functions),
+                    target=spec.name):
         machine = MachineModule(name=module.name)
         for fn in module.functions:
-            machine.functions.append(compile_function(fn))
+            machine.functions.append(compile_function(fn, spec))
         machine.globals = lower_globals(module)
         stats: List[object] = []
         if options.outline_rounds > 0:
@@ -86,7 +94,8 @@ def run_llc(module: ir.LIRModule,
 
             stats = repeated_outline(machine, rounds=options.outline_rounds,
                                      collect_stats=options.collect_stats,
-                                     name_prefix=options.outlined_name_prefix)
+                                     name_prefix=options.outlined_name_prefix,
+                                     target=spec)
         trace.metrics().inc("llc.modules")
         trace.metrics().inc("llc.functions", len(machine.functions))
     return LLCResult(module=machine, outline_stats=stats)

@@ -25,30 +25,26 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.errors import RegAllocError
 from repro.backend.liveness import Interval, compute_intervals
 from repro.isa.instructions import MachineFunction, MachineInstr, Opcode
-from repro.isa.registers import (
-    ALLOCATABLE_FPRS,
-    ALLOCATABLE_GPRS,
-    CALLEE_SAVED_FPRS,
-    CALLEE_SAVED_GPRS,
-    SCRATCH_FPR0,
-    SCRATCH_FPR1,
-    SCRATCH_GPR0,
-    SCRATCH_GPR1,
-    SCRATCH_GPR2,
-    is_virtual,
-)
+from repro.isa.registers import is_virtual
+from repro.target import get_target
+from repro.target.spec import CallingConvention, TargetSpec
 
-_GPR_SCRATCH = (SCRATCH_GPR0, SCRATCH_GPR1, SCRATCH_GPR2)
-_FPR_SCRATCH = (SCRATCH_FPR0, SCRATCH_FPR1)
 
-#: Pool orderings: caller-saved first for cheap short intervals, then
-#: callee-saved.  Call-crossing intervals use the callee-saved-only pool.
-_GPR_POOL = tuple(r for r in ALLOCATABLE_GPRS if r not in CALLEE_SAVED_GPRS) \
-    + tuple(r for r in ALLOCATABLE_GPRS if r in CALLEE_SAVED_GPRS)
-_FPR_POOL = tuple(r for r in ALLOCATABLE_FPRS if r not in CALLEE_SAVED_FPRS) \
-    + tuple(r for r in ALLOCATABLE_FPRS if r in CALLEE_SAVED_FPRS)
-_GPR_CS_POOL = tuple(r for r in ALLOCATABLE_GPRS if r in CALLEE_SAVED_GPRS)
-_FPR_CS_POOL = tuple(r for r in ALLOCATABLE_FPRS if r in CALLEE_SAVED_FPRS)
+def _pools(cc: CallingConvention) -> Tuple[Tuple[str, ...], ...]:
+    """(gpr, fpr, gpr_callee_saved, fpr_callee_saved) allocation pools.
+
+    Pool orderings: caller-saved first for cheap short intervals, then
+    callee-saved.  Call-crossing intervals use the callee-saved-only pool.
+    """
+    cs_gprs = set(cc.callee_saved_gprs)
+    cs_fprs = set(cc.callee_saved_fprs)
+    gpr = tuple(r for r in cc.allocatable_gprs if r not in cs_gprs) \
+        + tuple(r for r in cc.allocatable_gprs if r in cs_gprs)
+    fpr = tuple(r for r in cc.allocatable_fprs if r not in cs_fprs) \
+        + tuple(r for r in cc.allocatable_fprs if r in cs_fprs)
+    gpr_cs = tuple(r for r in cc.allocatable_gprs if r in cs_gprs)
+    fpr_cs = tuple(r for r in cc.allocatable_fprs if r in cs_fprs)
+    return gpr, fpr, gpr_cs, fpr_cs
 
 
 @dataclass
@@ -59,8 +55,12 @@ class AllocationResult:
     used_callee_saved: List[str]
 
 
-def allocate_function(mf: MachineFunction) -> AllocationResult:
+def allocate_function(mf: MachineFunction,
+                      spec: Optional[TargetSpec] = None) -> AllocationResult:
     """Allocate registers in *mf*, rewriting it in place."""
+    spec = get_target(spec)
+    cc = spec.cc
+    gpr_pool, fpr_pool, gpr_cs_pool, fpr_cs_pool = _pools(cc)
     liveness = compute_intervals(mf)
     intervals = liveness.intervals
     phys_positions = {
@@ -86,9 +86,9 @@ def allocate_function(mf: MachineFunction) -> AllocationResult:
         active = [iv for iv in active if iv.end >= interval.start]
         in_use = {iv.assigned for iv in active if iv.assigned}
         if interval.crosses_call:
-            pool = _FPR_CS_POOL if interval.is_float else _GPR_CS_POOL
+            pool = fpr_cs_pool if interval.is_float else gpr_cs_pool
         else:
-            pool = _FPR_POOL if interval.is_float else _GPR_POOL
+            pool = fpr_pool if interval.is_float else gpr_pool
         chosen: Optional[str] = None
         for reg in pool:
             if reg in in_use:
@@ -106,10 +106,9 @@ def allocate_function(mf: MachineFunction) -> AllocationResult:
         assignment[interval.reg] = chosen
         active.append(interval)
 
-    _rewrite(mf, assignment, spill_slots)
+    _rewrite(mf, assignment, spill_slots, cc)
     used_cs = sorted(
-        {reg for reg in assignment.values()
-         if reg in CALLEE_SAVED_GPRS or reg in CALLEE_SAVED_FPRS},
+        {reg for reg in assignment.values() if cc.is_callee_saved(reg)},
         key=_reg_sort_key,
     )
     mf.num_spill_slots = next_slot
@@ -123,7 +122,7 @@ def _reg_sort_key(reg: str) -> Tuple[int, int]:
 
 
 def _rewrite(mf: MachineFunction, assignment: Dict[str, str],
-             spill_slots: Dict[str, int]) -> None:
+             spill_slots: Dict[str, int], cc: CallingConvention) -> None:
     """Substitute assignments and expand spill loads/stores via scratch."""
     for blk in mf.blocks:
         new_instrs: List[MachineInstr] = []
@@ -139,8 +138,8 @@ def _rewrite(mf: MachineFunction, assignment: Dict[str, str],
                 if reg in assignment:
                     mapping[reg] = assignment[reg]
             # Assign scratch registers to spilled vregs.
-            gpr_scratch = iter(_GPR_SCRATCH)
-            fpr_scratch = iter(_FPR_SCRATCH)
+            gpr_scratch = iter(cc.scratch_gprs)
+            fpr_scratch = iter(cc.scratch_fprs)
             for reg in spilled_uses + [r for r in spilled_defs
                                        if r not in spilled_uses]:
                 try:

@@ -1,6 +1,10 @@
-"""Target ABI description for the AArch64-like backend.
+"""Calling-convention helpers for the backend.
 
-Mirrors AAPCS64 + the Swift error convention:
+The ABI facts themselves now live on
+:class:`repro.target.spec.CallingConvention`; these helpers resolve a
+:class:`~repro.target.spec.TargetSpec` (defaulting to the session target)
+and apply it.  Mirrors AAPCS64 + the Swift error convention on both
+shipped targets:
 
 * integer/pointer args in ``x0..x7``, float args in ``d0..d7``;
 * return in ``x0`` / ``d0``;
@@ -11,47 +15,43 @@ Mirrors AAPCS64 + the Swift error convention:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import BackendError
-from repro.isa.registers import (
-    ARG_FPRS,
-    ARG_GPRS,
-    CALLEE_SAVED_FPRS,
-    CALLEE_SAVED_GPRS,
-    CALLER_SAVED_FPRS,
-    CALLER_SAVED_GPRS,
-    ERROR_REG,
-    RET_FPR,
-    RET_GPR,
-)
+from repro.target import get_target
+from repro.target.spec import TargetSpec
 
+#: Deprecated: use ``TargetSpec.cc.max_reg_args``.
 MAX_REG_ARGS = 8
 
 
-def assign_arg_registers(arg_is_float: Tuple[bool, ...]) -> List[str]:
+def assign_arg_registers(arg_is_float: Tuple[bool, ...],
+                         spec: Optional[TargetSpec] = None) -> List[str]:
     """Argument registers for a call, AAPCS64-style (separate int/fp pools)."""
-    gprs = iter(ARG_GPRS)
-    fprs = iter(ARG_FPRS)
+    cc = get_target(spec).cc
+    gprs = iter(cc.arg_gprs)
+    fprs = iter(cc.arg_fprs)
     out: List[str] = []
     for is_float in arg_is_float:
         try:
             out.append(next(fprs) if is_float else next(gprs))
         except StopIteration:
             raise BackendError(
-                f"more than {MAX_REG_ARGS} arguments of one class are not "
+                f"more than {cc.max_reg_args} arguments of one class are not "
                 "supported (no stack-argument lowering)") from None
     return out
 
 
-def return_register(is_float: bool) -> str:
-    return RET_FPR if is_float else RET_GPR
+def return_register(is_float: bool,
+                    spec: Optional[TargetSpec] = None) -> str:
+    cc = get_target(spec).cc
+    return cc.ret_fpr if is_float else cc.ret_gpr
 
 
-def call_clobbers() -> Tuple[str, ...]:
+def call_clobbers(spec: Optional[TargetSpec] = None) -> Tuple[str, ...]:
     """Registers a call may clobber (caller-saved + the error register)."""
-    return CALLER_SAVED_GPRS + CALLER_SAVED_FPRS + (ERROR_REG,)
+    return get_target(spec).cc.call_clobbers()
 
 
-def is_callee_saved_reg(reg: str) -> bool:
-    return reg in CALLEE_SAVED_GPRS or reg in CALLEE_SAVED_FPRS
+def is_callee_saved_reg(reg: str, spec: Optional[TargetSpec] = None) -> bool:
+    return get_target(spec).cc.is_callee_saved(reg)

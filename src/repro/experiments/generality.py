@@ -3,18 +3,26 @@
 Applies five rounds of whole-program repeated outlining to the clang-like
 and Linux-kernel-like LIR corpora, and checks the kernel-specific claim
 that the stack-protector epilogue is a common repeating pattern.
+
+The sweep also runs **cross-target**: each corpus is built once per
+registered target specification (fixed-width arm64 and the compressed
+2/4-byte thumb2c by default), showing that the outliner's saving is a
+property of the code's repetitiveness, not of one instruction encoding.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, List, Sequence, Tuple
 
 from repro.experiments.common import format_table, pct_saving
 from repro.outliner.stats import collect_patterns
 from repro.pipeline import BuildConfig
 from repro.pipeline.build import build_lir_modules
+from repro.target import get_target
 from repro.workloads.corpora import clang_like_modules, kernel_like_modules
+
+DEFAULT_TARGETS = ("arm64", "thumb2c")
 
 
 @dataclass
@@ -23,6 +31,7 @@ class CorpusResult:
     baseline_text: int
     outlined_text: int
     per_round_text: List[int]
+    target: str = "arm64"
 
     @property
     def saving_pct(self) -> float:
@@ -33,29 +42,35 @@ class CorpusResult:
 class GeneralityResult:
     corpora: List[CorpusResult]
     kernel_guard_pattern_found: bool
+    targets: Tuple[str, ...] = ("arm64",)
 
 
-def _build_corpus(factory: Callable, rounds: int):
+def _build_corpus(factory: Callable, rounds: int, target: str = "arm64"):
     modules = factory()
     cfg = BuildConfig(pipeline="wholeprogram", outline_rounds=rounds,
-                      global_dce=False)
+                      global_dce=False, target=target)
     return build_lir_modules(modules, cfg)
 
 
-def run(rounds: int = 5) -> GeneralityResult:
+def run(rounds: int = 5,
+        targets: Sequence[str] = DEFAULT_TARGETS) -> GeneralityResult:
+    targets = tuple(get_target(t).name for t in targets)
     corpora: List[CorpusResult] = []
-    for name, factory in (("linux-kernel", kernel_like_modules),
-                          ("clang", clang_like_modules)):
-        baseline = _build_corpus(factory, 0)
-        per_round = []
-        for r in range(1, rounds + 1):
-            per_round.append(_build_corpus(factory, r).sizes.text_bytes)
-        corpora.append(CorpusResult(
-            corpus=name,
-            baseline_text=baseline.sizes.text_bytes,
-            outlined_text=per_round[-1],
-            per_round_text=per_round,
-        ))
+    for target in targets:
+        for name, factory in (("linux-kernel", kernel_like_modules),
+                              ("clang", clang_like_modules)):
+            baseline = _build_corpus(factory, 0, target)
+            per_round = []
+            for r in range(1, rounds + 1):
+                per_round.append(
+                    _build_corpus(factory, r, target).sizes.text_bytes)
+            corpora.append(CorpusResult(
+                corpus=name,
+                baseline_text=baseline.sizes.text_bytes,
+                outlined_text=per_round[-1],
+                per_round_text=per_round,
+                target=target,
+            ))
 
     # Is the stack-protector epilogue among the kernel's mined patterns?
     kernel_baseline = _build_corpus(kernel_like_modules, 0)
@@ -69,17 +84,19 @@ def run(rounds: int = 5) -> GeneralityResult:
         for stat in stats[:25]
     )
     return GeneralityResult(corpora=corpora,
-                            kernel_guard_pattern_found=guard_found)
+                            kernel_guard_pattern_found=guard_found,
+                            targets=targets)
 
 
 def format_report(result: GeneralityResult) -> str:
     rows = []
     for c in result.corpora:
         rounds = " -> ".join(str(t) for t in c.per_round_text)
-        rows.append((c.corpus, c.baseline_text, rounds,
+        rows.append((c.target, c.corpus, c.baseline_text, rounds,
                      f"{c.saving_pct:.1f}%"))
     table = format_table(
-        ["corpus", "baseline code B", "code B by round", "saving"], rows)
+        ["target", "corpus", "baseline code B", "code B by round", "saving"],
+        rows)
     return (
         "Section VII-E: generality on non-iOS corpora\n"
         f"{table}\n"

@@ -1,10 +1,12 @@
-"""Byte-size accounting for the fixed-width target.
+"""Byte-size accounting — deprecated fixed-width aliases.
 
-AArch64 instructions are all 4 bytes, a property the paper exploits when it
-counts instructions to measure size savings ("the saving is computed based on
-the number of instructions, which is fixed-width in AArch64").  These helpers
-centralise the arithmetic used by the cost model, the linker, and the
-experiment reports.
+All size arithmetic now lives on :class:`repro.target.spec.TargetSpec`
+(``instr_bytes`` / ``seq_bytes`` / ``function_text_bytes`` /
+``total_text_bytes`` / ``total_metadata_bytes``), which supports both
+fixed- and variable-width encodings.  This module keeps the old names
+alive for one release as aliases pinned to the ``arm64`` spec — they are
+inherently fixed-width (``instrs_to_bytes`` only sees a count), so they
+delegate to ``arm64`` explicitly rather than the session default target.
 """
 
 from __future__ import annotations
@@ -12,34 +14,30 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.isa.instructions import INSTR_BYTES, MachineFunction
+from repro.target.arm64 import ARM64
 
-#: Per-function non-code overhead carried into the final binary: a symbol
-#: table entry and compact unwind info.  This is why Figure 12's *binary*
-#: size shrinks slightly less than its *code* size and why each outlined
-#: function is not free.
-FUNCTION_METADATA_BYTES = 32
+#: Deprecated: use ``TargetSpec.function_metadata_bytes``.
+FUNCTION_METADATA_BYTES = ARM64.function_metadata_bytes
 
-#: Functions are laid out at 4-byte alignment (no padding for fixed width).
-FUNCTION_ALIGNMENT = 4
+#: Deprecated: use ``TargetSpec.function_alignment``.
+FUNCTION_ALIGNMENT = ARM64.function_alignment
 
 
 def instrs_to_bytes(num_instrs: int) -> int:
-    """Size in bytes of ``num_instrs`` fixed-width instructions."""
+    """Deprecated: size of ``num_instrs`` fixed-width arm64 instructions."""
     return num_instrs * INSTR_BYTES
 
 
 def function_text_bytes(fn: MachineFunction) -> int:
-    """__text bytes contributed by one function (alignment included)."""
-    size = fn.size_bytes
-    rem = size % FUNCTION_ALIGNMENT
-    if rem:
-        size += FUNCTION_ALIGNMENT - rem
-    return size
+    """Deprecated: use ``TargetSpec.function_text_bytes``."""
+    return ARM64.function_text_bytes(fn)
 
 
 def total_text_bytes(functions: Iterable[MachineFunction]) -> int:
-    return sum(function_text_bytes(fn) for fn in functions)
+    """Deprecated: use ``TargetSpec.total_text_bytes``."""
+    return ARM64.total_text_bytes(functions)
 
 
 def total_metadata_bytes(functions: Iterable[MachineFunction]) -> int:
-    return sum(FUNCTION_METADATA_BYTES for _ in functions)
+    """Deprecated: use ``TargetSpec.total_metadata_bytes``."""
+    return ARM64.total_metadata_bytes(functions)

@@ -16,8 +16,9 @@ dispatches them natively.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 from repro.isa.encoding import FUNCTION_METADATA_BYTES
 from repro.isa.instructions import INSTR_BYTES, MachineFunction, MachineGlobal, MachineInstr
@@ -60,12 +61,23 @@ class BinaryImage:
     entry_symbol: Optional[str] = None
     #: Data addresses grouped by origin module (for locality metrics).
     data_extent_of_module: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Name of the target this image was linked for.
+    target_name: str = "arm64"
+    #: Per-instruction start addresses for variable-width layouts; ``None``
+    #: means the uniform fixed-width address rule (base + i * INSTR_BYTES).
+    instr_addrs: Optional[List[int]] = None
+    #: One past the last instruction byte (0 = derive from the fixed rule).
+    text_end_addr: int = 0
+    #: Function-start alignment padding the linker inserted into __text.
+    alignment_padding_bytes: int = 0
+    #: Per-function metadata bytes (symbol table entry + unwind info).
+    metadata_bytes_per_function: int = FUNCTION_METADATA_BYTES
 
     # -- size accounting (what Figure 12 plots) ------------------------------
 
     @property
     def text_bytes(self) -> int:
-        return len(self.instrs) * INSTR_BYTES
+        return self.text_end_address() - self.text_base
 
     @property
     def data_bytes(self) -> int:
@@ -73,7 +85,7 @@ class BinaryImage:
 
     @property
     def metadata_bytes(self) -> int:
-        return FUNCTION_METADATA_BYTES * len(self.functions)
+        return self.metadata_bytes_per_function * len(self.functions)
 
     @property
     def binary_bytes(self) -> int:
@@ -108,11 +120,36 @@ class BinaryImage:
 
     # -- lookup helpers --------------------------------------------------------
 
+    def text_end_address(self) -> int:
+        """One past the last instruction byte of __text."""
+        if self.text_end_addr:
+            return self.text_end_addr
+        return self.text_base + len(self.instrs) * INSTR_BYTES
+
     def addr_of_index(self, index: int) -> int:
+        if self.instr_addrs is not None:
+            return self.instr_addrs[index]
         return self.text_base + index * INSTR_BYTES
 
     def index_of_addr(self, addr: int) -> int:
+        """Index of the instruction at *addr*.
+
+        For an address between instructions (alignment padding, or one past
+        a function end) this returns the index of the *next* instruction —
+        so ``index_of_addr(extent.end) - 1`` is always the extent's last
+        instruction, on fixed- and variable-width layouts alike.
+        """
+        if self.instr_addrs is not None:
+            return bisect_left(self.instr_addrs, addr)
         return (addr - self.text_base) // INSTR_BYTES
+
+    def is_instr_addr(self, addr: int) -> bool:
+        """True when *addr* is the start of an instruction."""
+        if self.instr_addrs is not None:
+            i = bisect_left(self.instr_addrs, addr)
+            return i < len(self.instr_addrs) and self.instr_addrs[i] == addr
+        return (self.text_base <= addr < self.text_end_address()
+                and (addr - self.text_base) % INSTR_BYTES == 0)
 
     def function_at(self, addr: int) -> Optional[FunctionExtent]:
         # Binary search over sorted extents.

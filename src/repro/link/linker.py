@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.target import get_target
+from repro.target.spec import TargetSpec
+
 from repro.errors import LinkError
 from repro.isa.instructions import (
     INSTR_BYTES,
@@ -33,7 +36,8 @@ from repro.runtime.names import ALL_RUNTIME_SYMBOLS
 
 def link_binary(modules: Sequence[MachineModule],
                 entry_symbol: Optional[str] = None,
-                outlined_layout: str = "appended") -> BinaryImage:
+                outlined_layout: str = "appended",
+                target: Union[str, TargetSpec, None] = None) -> BinaryImage:
     """Link machine modules into an executable image.
 
     ``outlined_layout`` controls where outlined functions land in __text:
@@ -43,8 +47,20 @@ def link_binary(modules: Sequence[MachineModule],
     * ``"near-callers"`` — each outlined function is placed directly after
       the function with the most call sites to it, improving the locality
       of outlined code (the paper's future work #3).
+
+    ``target`` selects the width/alignment model: on a fixed-width target
+    the classic uniform layout is kept (address = base + index * 4); on a
+    variable-width target each instruction advances by its encoded width
+    and function starts are padded up to ``spec.function_alignment``.
     """
-    image = BinaryImage(entry_symbol=entry_symbol)
+    spec = get_target(target)
+    image = BinaryImage(entry_symbol=entry_symbol, target_name=spec.name,
+                        metadata_bytes_per_function=spec.function_metadata_bytes)
+    # The uniform address rule holds iff every instruction has one width
+    # and alignment can never insert padding between functions.
+    uniform = (spec.is_fixed_width
+               and spec.function_alignment <= spec.widths.default_bytes
+               and TEXT_BASE % spec.function_alignment == 0)
 
     ordered_functions: List[MachineFunction] = []
     for module in modules:
@@ -58,19 +74,33 @@ def link_binary(modules: Sequence[MachineModule],
     addr = TEXT_BASE
     label_addr: Dict[Tuple[str, str], int] = {}
     all_functions: List[MachineFunction] = []
+    instr_addrs: List[int] = []
+    padding = 0
     for fn in ordered_functions:
         if fn.name in image.symbols:
             raise LinkError(f"duplicate symbol {fn.name!r}")
+        aligned = spec.align_up(addr)
+        padding += aligned - addr
+        addr = aligned
         image.symbols[fn.name] = addr
         start = addr
         for blk in fn.blocks:
             label_addr[(fn.name, blk.label)] = addr
-            addr += INSTR_BYTES * len(blk.instrs)
+            if uniform:
+                addr += INSTR_BYTES * len(blk.instrs)
+            else:
+                for instr in blk.instrs:
+                    instr_addrs.append(addr)
+                    addr += spec.instr_bytes(instr)
         image.functions.append(
             FunctionExtent(name=fn.name, start=start, end=addr,
                            source_module=fn.source_module,
                            is_outlined=fn.is_outlined))
         all_functions.append(fn)
+    if not uniform:
+        image.instr_addrs = instr_addrs
+        image.text_end_addr = addr
+        image.alignment_padding_bytes = padding
 
     # Runtime stubs for unresolved runtime symbols.
     stub_addr = RUNTIME_STUB_BASE
@@ -107,6 +137,8 @@ def link_binary(modules: Sequence[MachineModule],
 
     metrics = trace.metrics()
     if metrics.enabled:
+        metrics.set_gauge("link.alignment_padding_bytes",
+                          image.alignment_padding_bytes)
         metrics.set_gauge("link.input_modules", len(modules))
         metrics.set_gauge("link.functions", len(all_functions))
         metrics.set_gauge("link.outlined_functions",

@@ -31,20 +31,29 @@ structurally wrong binary must never be returned to the caller.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Union
 
 from repro.errors import ImageVerifierError
-from repro.isa.instructions import INSTR_BYTES, Opcode, Sym
+from repro.isa.instructions import Opcode, Sym
 from repro.link.binary import BinaryImage
 from repro.obs import trace
+from repro.target import get_target
+from repro.target.spec import TargetSpec
 
 
-def verify_image(image: BinaryImage) -> None:
-    """Raise :class:`ImageVerifierError` unless ``image`` is sound."""
+def verify_image(image: BinaryImage,
+                 target: Union[str, TargetSpec, None] = None) -> None:
+    """Raise :class:`ImageVerifierError` unless ``image`` is sound.
+
+    The width/alignment model is taken from *target* when given, else from
+    the image's recorded ``target_name``.
+    """
+    spec = get_target(target if target is not None else image.target_name)
     problems: List[str] = []
     with trace.span("verify-image", kind="verify",
-                    num_functions=len(image.functions)) as span:
-        _check_text_layout(image, problems)
+                    num_functions=len(image.functions),
+                    target=spec.name) as span:
+        _check_text_layout(image, problems, spec)
         checks = 1
         if not problems:
             # Later checks index by extent; skip them if layout is broken.
@@ -65,26 +74,57 @@ def verify_image(image: BinaryImage) -> None:
             f"binary image failed verification: {preview}{more}")
 
 
-def _check_text_layout(image: BinaryImage, problems: List[str]) -> None:
+def _check_text_layout(image: BinaryImage, problems: List[str],
+                       spec: TargetSpec) -> None:
     addr = image.text_base
+    idx = 0
+    num_instrs = len(image.instrs)
     for ext in image.functions:
-        if ext.start != addr:
+        expected = spec.align_up(addr)
+        if ext.start != expected:
             problems.append(
                 f"function {ext.name!r} starts at {ext.start:#x}, "
-                f"expected {addr:#x} (extents must be contiguous)")
+                f"expected {expected:#x} (extents must be contiguous and "
+                f"{spec.function_alignment}-byte aligned)")
             return
-        if ext.end <= ext.start or (ext.end - ext.start) % INSTR_BYTES:
+        if ext.start % spec.function_alignment:
+            problems.append(
+                f"function {ext.name!r} starts at unaligned address "
+                f"{ext.start:#x} (alignment {spec.function_alignment})")
+            return
+        if ext.end <= ext.start:
             problems.append(
                 f"function {ext.name!r} has a bad extent "
                 f"[{ext.start:#x}, {ext.end:#x})")
             return
+        # Walk the extent instruction by instruction under the target's
+        # width model; the extent must cover its instructions exactly.
+        fn_addr = ext.start
+        while idx < num_instrs and fn_addr < ext.end:
+            if image.addr_of_index(idx) != fn_addr:
+                problems.append(
+                    f"instruction {idx} of {ext.name!r} recorded at "
+                    f"{image.addr_of_index(idx):#x}, expected {fn_addr:#x}")
+                return
+            fn_addr += spec.instr_bytes(image.instrs[idx])
+            idx += 1
+        if fn_addr != ext.end:
+            problems.append(
+                f"function {ext.name!r} extent [{ext.start:#x}, "
+                f"{ext.end:#x}) does not match its encoded instruction "
+                f"bytes (ends {fn_addr:#x}; truncated or rewritten text)")
+            return
         addr = ext.end
-    text_end = image.text_base + len(image.instrs) * INSTR_BYTES
+    text_end = image.text_end_address()
     if addr != text_end:
         problems.append(
-            f"text section holds {len(image.instrs)} instructions "
+            f"text section holds {num_instrs} instructions "
             f"(ends {text_end:#x}) but extents end at {addr:#x} "
             f"(truncated or padded text)")
+    if idx != num_instrs:
+        problems.append(
+            f"{num_instrs - idx} instructions lie beyond the last "
+            f"function extent")
 
 
 def _check_symbols(image: BinaryImage, problems: List[str]) -> None:
@@ -94,7 +134,7 @@ def _check_symbols(image: BinaryImage, problems: List[str]) -> None:
             problems.append(
                 f"symbol table disagrees with extent of {ext.name!r}: "
                 f"{image.symbols.get(ext.name)!r} != {ext.start:#x}")
-    text_end = image.text_base + len(image.instrs) * INSTR_BYTES
+    text_end = image.text_end_address()
     for name, addr in image.symbols.items():
         in_text = image.text_base <= addr < text_end
         in_data = image.data_base <= addr < max(image.data_end,
@@ -124,7 +164,7 @@ def _check_targets(image: BinaryImage, problems: List[str]) -> None:
                     f"branch at {addr:#x} ({instr.render()}) was never "
                     f"resolved")
             elif (ext is None or not ext.start <= target < ext.end
-                    or (target - image.text_base) % INSTR_BYTES):
+                    or not image.is_instr_addr(target)):
                 problems.append(
                     f"branch at {addr:#x} targets {target:#x}, outside its "
                     f"function {ext.name if ext else '?'!r}")
@@ -172,7 +212,7 @@ def _check_outlined(image: BinaryImage, problems: List[str]) -> None:
 
 
 def _check_data(image: BinaryImage, problems: List[str]) -> None:
-    text_end = image.text_base + len(image.instrs) * INSTR_BYTES
+    text_end = image.text_end_address()
     if image.data_end < image.data_base:
         problems.append(
             f"data segment is inverted: [{image.data_base:#x}, "

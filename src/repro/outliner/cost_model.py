@@ -1,31 +1,43 @@
-"""AArch64-style outlining cost model.
+"""Outlining cost model, parameterized by target width model.
 
-Classifies a candidate sequence into the four AArch64 outlining classes and
-prices each in bytes (fixed-width ISA: 4 bytes per instruction):
+Classifies a candidate sequence into the four AArch64-style outlining
+classes and prices each in bytes through the target's
+:class:`~repro.target.spec.WidthModel` (on ``arm64`` every instruction is
+4 bytes, reproducing the paper's fixed-width accounting exactly):
 
 ============  ======================  ==============================  =====
 class         call at each site       outlined function body          frame
 ============  ======================  ==============================  =====
-tail-call     ``B`` (4B)              sequence as-is (ends RET)       0
-thunk         ``BL`` (4B)             prefix + tail ``B callee``      0
-no-LR-save    ``BL`` (4B)             sequence + ``RET``              4B
-default       ``BL`` (4B)             push LR + sequence + pop LR +   12B
+tail-call     ``B``                   sequence as-is (ends RET)       0
+thunk         ``BL``                  prefix + tail ``B callee``      0
+no-LR-save    ``BL``                  sequence + ``RET``              RET
+default       ``BL``                  push LR + sequence + pop LR +   3 in.
                                       ``RET`` (body contains calls,
                                       so LR is saved in the outlined
                                       function's own frame)
 ============  ======================  ==============================  =====
 
 A candidate is profitable iff it saves at least one byte over the whole
-binary — the paper's Section IV profitability criterion.
+binary — the paper's Section IV profitability criterion.  On
+variable-width targets the model is deliberately conservative so that an
+accepted candidate can never grow the aligned text section:
+
+* the outlined body is priced at its *alignment-padded* size
+  (``align_up``), the exact amount the linker will lay out;
+* each call site is additionally billed ``call_site_alignment_slack``
+  bytes (alignment − minimum width): shrinking a caller body can expose
+  at most that much fresh padding at the caller's end.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
-from repro.isa.instructions import INSTR_BYTES, MachineInstr, Opcode
+from repro.isa.instructions import MachineInstr, Opcode
+from repro.target import get_target
+from repro.target.spec import TargetSpec
 
 
 class OutlineClass(Enum):
@@ -40,14 +52,18 @@ class CandidateCost:
     outline_class: OutlineClass
     #: Bytes of instructions inserted at each call site.
     call_bytes: int
-    #: Bytes of the outlined function body.
+    #: Bytes of the outlined function body (alignment-padded).
     outlined_fn_bytes: int
     seq_bytes: int
+    #: Per-site worst-case alignment padding exposed by shrinking the
+    #: caller (0 on fixed-width targets).
+    call_site_slack_bytes: int = 0
 
     def benefit(self, num_occurrences: int) -> int:
         """Whole-binary byte saving when all occurrences are outlined."""
         before = self.seq_bytes * num_occurrences
-        after = self.call_bytes * num_occurrences + self.outlined_fn_bytes
+        after = ((self.call_bytes + self.call_site_slack_bytes)
+                 * num_occurrences + self.outlined_fn_bytes)
         return before - after
 
 
@@ -64,19 +80,34 @@ def classify(seq: Sequence[MachineInstr]) -> OutlineClass:
     return OutlineClass.DEFAULT
 
 
-def cost_of(seq: Sequence[MachineInstr]) -> CandidateCost:
-    seq_bytes = INSTR_BYTES * len(seq)
+def cost_of(seq: Sequence[MachineInstr],
+            target: Union[str, TargetSpec, None] = None) -> CandidateCost:
+    spec = get_target(target)
+    seq_bytes = spec.seq_bytes(seq)
+    slack = spec.call_site_alignment_slack
     cls = classify(seq)
     if cls is OutlineClass.TAIL_CALL:
-        return CandidateCost(cls, call_bytes=INSTR_BYTES,
-                             outlined_fn_bytes=seq_bytes, seq_bytes=seq_bytes)
+        return CandidateCost(cls, call_bytes=spec.outline_tail_call_bytes,
+                             outlined_fn_bytes=spec.align_up(seq_bytes),
+                             seq_bytes=seq_bytes,
+                             call_site_slack_bytes=slack)
     if cls is OutlineClass.THUNK:
-        return CandidateCost(cls, call_bytes=INSTR_BYTES,
-                             outlined_fn_bytes=seq_bytes, seq_bytes=seq_bytes)
+        # The final BL becomes a tail B; both are symbolic (always wide).
+        body = seq_bytes - spec.instr_bytes(seq[-1]) \
+            + spec.outline_tail_call_bytes
+        return CandidateCost(cls, call_bytes=spec.outline_call_bytes,
+                             outlined_fn_bytes=spec.align_up(body),
+                             seq_bytes=seq_bytes,
+                             call_site_slack_bytes=slack)
     if cls is OutlineClass.NO_LR_SAVE:
-        return CandidateCost(cls, call_bytes=INSTR_BYTES,
-                             outlined_fn_bytes=seq_bytes + INSTR_BYTES,
-                             seq_bytes=seq_bytes)
-    return CandidateCost(cls, call_bytes=INSTR_BYTES,
-                         outlined_fn_bytes=seq_bytes + 3 * INSTR_BYTES,
-                         seq_bytes=seq_bytes)
+        body = seq_bytes + spec.outline_ret_bytes
+        return CandidateCost(cls, call_bytes=spec.outline_call_bytes,
+                             outlined_fn_bytes=spec.align_up(body),
+                             seq_bytes=seq_bytes,
+                             call_site_slack_bytes=slack)
+    body = (spec.outline_lr_save_bytes + seq_bytes
+            + spec.outline_lr_restore_bytes + spec.outline_ret_bytes)
+    return CandidateCost(cls, call_bytes=spec.outline_call_bytes,
+                         outlined_fn_bytes=spec.align_up(body),
+                         seq_bytes=seq_bytes,
+                         call_site_slack_bytes=slack)

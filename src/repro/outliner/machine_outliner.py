@@ -29,7 +29,6 @@ from repro.isa.instructions import (
     Opcode,
     Sym,
 )
-from repro.isa.registers import LR, SP
 from repro.outliner.candidates import (
     InstructionMapper,
     MappedProgram,
@@ -38,6 +37,8 @@ from repro.outliner.candidates import (
 )
 from repro.outliner.cost_model import CandidateCost, OutlineClass, cost_of
 from repro.outliner.suffix_tree import SuffixTree
+from repro.target import get_target
+from repro.target.spec import TargetSpec
 
 OUTLINED_PREFIX = "OUTLINED_FUNCTION_"
 
@@ -82,7 +83,9 @@ def _copy_instr(instr: MachineInstr) -> MachineInstr:
 
 
 def _make_outlined_function(name: str, seq: Sequence[MachineInstr],
-                            cls: OutlineClass, round_no: int) -> MachineFunction:
+                            cls: OutlineClass, round_no: int,
+                            spec: TargetSpec) -> MachineFunction:
+    lr, sp = spec.regs.lr, spec.regs.sp
     body = [_copy_instr(i) for i in seq]
     if cls is OutlineClass.THUNK:
         last = body[-1]
@@ -94,9 +97,9 @@ def _make_outlined_function(name: str, seq: Sequence[MachineInstr],
         # The body contains calls that clobber LR: save the return address
         # in the outlined function's own micro-frame.
         body = (
-            [MachineInstr(Opcode.STRXpre, (LR, SP, -16))]
+            [MachineInstr(Opcode.STRXpre, (lr, sp, -16))]
             + body
-            + [MachineInstr(Opcode.LDRXpost, (LR, SP, 16)),
+            + [MachineInstr(Opcode.LDRXpost, (lr, sp, 16)),
                MachineInstr(Opcode.RET)]
         )
     fn = MachineFunction(name=name, is_outlined=True, outline_round=round_no,
@@ -113,7 +116,8 @@ def _call_site_replacement(name: str, cls: OutlineClass) -> List[MachineInstr]:
 
 def run_one_round(functions: List[MachineFunction], name_counter: Iterator[int],
                   round_no: int = 1, min_benefit: int = 1,
-                  name_prefix: str = "") -> RoundStats:
+                  name_prefix: str = "",
+                  target: Optional[TargetSpec] = None) -> RoundStats:
     """Run one outlining round over *functions* (mutated in place).
 
     New outlined functions are appended to *functions*.  ``name_prefix``
@@ -121,6 +125,7 @@ def run_one_round(functions: List[MachineFunction], name_counter: Iterator[int],
     clashing OUTLINED_FUNCTION_N clones in every object file — the very
     duplication the paper's whole-program pipeline eliminates).
     """
+    spec = get_target(target)
     stats = RoundStats(round_no=round_no)
     mapper = InstructionMapper()
     program = mapper.map_functions(functions)
@@ -134,7 +139,7 @@ def run_one_round(functions: List[MachineFunction], name_counter: Iterator[int],
         if any(program.ids[s0 + i] < 0 for i in range(rs.length)):
             continue  # contains an illegal instruction or block boundary
         seq = program.instr_seq(s0, rs.length)
-        cost = cost_of(seq)
+        cost = cost_of(seq, spec)
         if (cost.outline_class is OutlineClass.DEFAULT
                 and sequence_uses_sp(seq)):
             continue  # SP shifts by the LR save at default-class call sites
@@ -169,7 +174,7 @@ def run_one_round(functions: List[MachineFunction], name_counter: Iterator[int],
             continue
         name = f"{name_prefix}{OUTLINED_PREFIX}{next(name_counter)}"
         outlined = _make_outlined_function(name, seq, cost.outline_class,
-                                           round_no)
+                                           round_no, spec)
         new_functions.append(outlined)
         replacement_template = _call_site_replacement(name, cost.outline_class)
         for s in free:
@@ -181,7 +186,7 @@ def run_one_round(functions: List[MachineFunction], name_counter: Iterator[int],
                 taken[i] = 1
         stats.functions_created += 1
         stats.sequences_outlined += len(free)
-        stats.outlined_fn_bytes += outlined.size_bytes
+        stats.outlined_fn_bytes += spec.function_body_bytes(outlined)
         stats.bytes_saved += benefit
         stats.patterns.append(OutlinedPattern(
             name=name, length=length, num_occurrences=len(free),

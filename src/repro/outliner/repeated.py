@@ -19,6 +19,7 @@ from typing import List, Optional
 from repro.isa.instructions import MachineFunction, MachineModule
 from repro.obs import trace
 from repro.outliner.machine_outliner import RoundStats, run_one_round
+from repro.target.spec import TargetSpec
 
 
 @dataclass
@@ -36,17 +37,19 @@ class OutlineRoundStats:
 
 def repeated_outline(module: MachineModule, rounds: int = 5,
                      collect_stats: bool = True, name_counter=None,
-                     name_prefix: str = "") -> List[OutlineRoundStats]:
+                     name_prefix: str = "",
+                     target: Optional[TargetSpec] = None) -> List[OutlineRoundStats]:
     """Run up to *rounds* outlining rounds over a whole machine module."""
     return repeated_outline_functions(module.functions, rounds,
                                       collect_stats, name_counter,
-                                      name_prefix)
+                                      name_prefix, target)
 
 
 def repeated_outline_functions(functions: List[MachineFunction],
                                rounds: int = 5, collect_stats: bool = True,
                                name_counter=None,
-                               name_prefix: str = "") -> List[OutlineRoundStats]:
+                               name_prefix: str = "",
+                               target: Optional[TargetSpec] = None) -> List[OutlineRoundStats]:
     if name_counter is None:
         name_counter = itertools.count(0)
     cumulative: List[OutlineRoundStats] = []
@@ -59,7 +62,7 @@ def repeated_outline_functions(functions: List[MachineFunction],
         with trace.span("outline-round", kind="outline-round",
                         round_no=round_no, prefix=name_prefix) as span:
             stats = run_one_round(functions, name_counter, round_no=round_no,
-                                  name_prefix=name_prefix)
+                                  name_prefix=name_prefix, target=target)
             span.annotate(candidates=stats.candidates_considered,
                           sequences_outlined=stats.sequences_outlined,
                           functions_created=stats.functions_created,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.isa.instructions import INSTR_BYTES, MachineFunction, MachineModule
+from repro.isa.instructions import MachineFunction, MachineModule
 from repro.outliner.candidates import (
     InstructionMapper,
     prune_overlaps,
@@ -20,6 +20,8 @@ from repro.outliner.candidates import (
 )
 from repro.outliner.cost_model import OutlineClass, cost_of
 from repro.outliner.suffix_tree import SuffixTree
+from repro.target import get_target
+from repro.target.spec import TargetSpec
 
 
 @dataclass
@@ -35,21 +37,21 @@ class PatternStat:
     rendered: Tuple[str, ...]
     #: Names of functions containing occurrences (first few).
     functions: Tuple[str, ...] = ()
-
-    @property
-    def seq_bytes(self) -> int:
-        return self.length * INSTR_BYTES
+    #: Encoded size of one occurrence under the mining target's widths.
+    seq_bytes: int = 0
 
 
 def collect_patterns(functions: Sequence[MachineFunction],
                      min_len: int = 2,
                      require_profitable: bool = True,
-                     max_function_names: int = 4) -> List[PatternStat]:
+                     max_function_names: int = 4,
+                     target: Optional[TargetSpec] = None) -> List[PatternStat]:
     """Mine repeated patterns across *functions* (read-only).
 
     Patterns are returned sorted by occurrence count (descending), then by
     length (descending) — the rank order of Figure 5's x-axis.
     """
+    spec = get_target(target)
     mapper = InstructionMapper()
     program = mapper.map_functions(list(functions))
     if not program.ids:
@@ -68,7 +70,7 @@ def collect_patterns(functions: Sequence[MachineFunction],
     stats: List[PatternStat] = []
     for length, s0, starts in raw:
         seq = program.instr_seq(s0, length)
-        cost = cost_of(seq)
+        cost = cost_of(seq, spec)
         benefit = cost.benefit(len(starts))
         if require_profitable and benefit < 1:
             continue
@@ -81,7 +83,7 @@ def collect_patterns(functions: Sequence[MachineFunction],
             pattern_id=0, length=length, num_candidates=len(starts),
             outline_class=cost.outline_class, benefit_bytes=benefit,
             rendered=tuple(i.render() for i in seq),
-            functions=tuple(names)))
+            functions=tuple(names), seq_bytes=cost.seq_bytes))
     stats.sort(key=lambda p: (-p.num_candidates, -p.length, p.rendered))
     for i, stat in enumerate(stats):
         stat.pattern_id = i + 1

@@ -151,7 +151,9 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
     registry = registry or (TypeRegistry.from_program(program) if program
                             else TypeRegistry())
     report = report if report is not None else BuildReport(
-        num_modules=len(lir_modules))
+        num_modules=len(lir_modules), target=str(config.target))
+    if not report.target:
+        report.target = str(config.target)
     entry = None
     for module in lir_modules:
         if module.entry_symbol:
@@ -181,7 +183,8 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
         with report.phase("llc"):
             llc_out = run_llc(merged, LLCOptions(
                 outline_rounds=config.outline_rounds,
-                collect_stats=config.collect_outline_stats))
+                collect_stats=config.collect_outline_stats,
+                target=config.target))
         result.machine_modules = [llc_out.module]
         result.outline_stats = llc_out.outline_stats
     elif config.pipeline == "default":
@@ -200,12 +203,14 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
                 chunk_timeout=config.chunk_timeout,
                 max_retries=config.max_chunk_retries,
                 retry_backoff=config.retry_backoff,
-                fail_fast=config.fail_fast)
+                fail_fast=config.fail_fast,
+                target=config.target)
             if outputs is None:  # workers <= 1: the serial path by design
                 outputs = [run_llc(module, LLCOptions(
                     outline_rounds=config.outline_rounds,
                     collect_stats=config.collect_outline_stats,
-                    outlined_name_prefix=f"{module.name}::"))
+                    outlined_name_prefix=f"{module.name}::",
+                    target=config.target))
                     for module in lir_modules]
             for llc_out in outputs:
                 result.machine_modules.append(llc_out.module)
@@ -216,7 +221,8 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
         raise ReproError(f"unknown pipeline {config.pipeline!r}")
     with report.phase("link"):
         result.image = link_binary(result.machine_modules, entry_symbol=entry,
-                                   outlined_layout=config.outlined_layout)
+                                   outlined_layout=config.outlined_layout,
+                                   target=config.target)
     result.phase_work["link"] = len(result.image.instrs)
     return result
 
@@ -375,7 +381,8 @@ def build_program(sources: SourceModules,
              else [(name, text) for name, text in sources])
     with obs_trace.span("build", kind="build", pipeline=config.pipeline,
                         num_modules=len(items),
-                        outline_rounds=config.outline_rounds):
+                        outline_rounds=config.outline_rounds,
+                        target=config.target):
         result = _build_program(items, config)
     _record_size_metrics(result)
     return result
@@ -397,7 +404,8 @@ def _build_program(items: List[Tuple[str, str]],
                    config: BuildConfig) -> BuildResult:
     report = BuildReport(num_modules=len(items),
                          workers=parallel.resolve_workers(config.workers),
-                         cache_enabled=config.incremental)
+                         cache_enabled=config.incremental,
+                         target=str(config.target))
     cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
              if config.incremental else None)
 
@@ -448,7 +456,7 @@ def _verify(image: BinaryImage, config: BuildConfig,
     if not config.verify_image:
         return
     with report.phase("verify"):
-        verify_image(image)
+        verify_image(image, target=config.target)
     report.image_verified = True
 
 

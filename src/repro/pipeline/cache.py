@@ -50,7 +50,9 @@ from repro.frontend import ast
 from repro.pipeline.faults import FaultPlan
 
 #: Bump whenever codegen output can change (invalidates every entry).
-PIPELINE_CACHE_VERSION = "1"
+#: "2": BinaryImage grew target/layout fields; backend keys carry the
+#: target fingerprint.
+PIPELINE_CACHE_VERSION = "2"
 
 
 def fingerprint_source(text: str) -> str:

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.pipeline.faults import FaultPlan
+from repro.target import default_target_name
 
 
 @dataclass
@@ -18,6 +19,11 @@ class BuildConfig:
     """
 
     pipeline: str = "wholeprogram"  # "default" | "wholeprogram"
+    #: Target specification name (see :mod:`repro.target`); defaults to
+    #: ``$REPRO_TARGET`` or "arm64".  Changes instruction widths, alignment
+    #: and the outliner's cost model, so it is part of the backend
+    #: fingerprint (two targets never share an image-cache entry).
+    target: str = field(default_factory=default_target_name)
     #: Rounds of machine outlining; 0 disables.  In the default pipeline
     #: outlining runs per module; in the whole-program pipeline it sees the
     #: entire program (the paper's key distinction, Figure 12).
@@ -80,7 +86,11 @@ class BuildConfig:
         """Config fields that change the linked image given module LIR
         (image cache key).  ``workers``/``incremental``/``cache_dir`` are
         deliberately absent: builds must be bit-identical across them."""
-        return (f"pipe={self.pipeline};rounds={self.outline_rounds};"
+        from repro.target import get_target
+
+        spec = get_target(self.target)
+        return (f"target={spec.name}:{spec.fingerprint()[:12]};"
+                f"pipe={self.pipeline};rounds={self.outline_rounds};"
                 f"layout={self.data_layout};gc={self.gc_metadata_mode};"
                 f"merge={int(self.enable_merge_functions)};"
                 f"fmsa={int(self.enable_fmsa)};"

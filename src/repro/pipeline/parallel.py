@@ -107,12 +107,14 @@ def _llc_chunk(payload: Dict[str, object],
     lir_modules = payload["lir_modules"]
     rounds = payload["outline_rounds"]
     collect = payload["collect_stats"]
+    target = payload.get("target")
     out = []
     for i in indices:
         module = lir_modules[i]
         llc_out = run_llc(module, LLCOptions(
             outline_rounds=rounds, collect_stats=collect,
-            outlined_name_prefix=f"{module.name}::"))
+            outlined_name_prefix=f"{module.name}::",
+            target=target))
         out.append((i, llc_out))
     return out
 
@@ -388,13 +390,15 @@ def llc_modules(lir_modules: Sequence[object], outline_rounds: int,
                 chunk_timeout: Optional[float] = None,
                 max_retries: int = 2,
                 retry_backoff: float = 0.05,
-                fail_fast: bool = False) -> Optional[List[object]]:
+                fail_fast: bool = False,
+                target: Optional[str] = None) -> Optional[List[object]]:
     """Run per-module llc in parallel; returns outputs in module order."""
     if workers <= 1 or len(lir_modules) <= 1:
         return None
     payload = {"lir_modules": list(lir_modules),
                "outline_rounds": outline_rounds,
-               "collect_stats": collect_stats}
+               "collect_stats": collect_stats,
+               "target": target}
     chunks = _round_robin(list(range(len(lir_modules))), workers)
     results = run_chunks("llc", payload, chunks, workers, plan=plan,
                          report=report, phase="llc",

@@ -53,6 +53,8 @@ class BuildReport:
 
     #: Modules in the input program.
     num_modules: int = 0
+    #: Target specification the build was lowered for ("" = default).
+    target: str = ""
     #: Worker processes used for the parallel frontend (1 = serial).
     workers: int = 1
     #: Whether the content-addressed cache was consulted.
@@ -139,6 +141,8 @@ class BuildReport:
             cache = "cache off"
         lines.append(f"frontend:  {self.num_modules} modules, "
                      f"{self.workers} worker(s), {cache}")
+        if self.target:
+            lines.append(f"target:    {self.target}")
         if self.phase_wall:
             parts = ", ".join(f"{name} {secs * 1000:.0f}ms"
                               for name, secs in self.phase_wall.items())

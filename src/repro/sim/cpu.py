@@ -21,6 +21,7 @@ from repro.obs import trace as obs_trace
 from repro.runtime.functions import HANDLERS
 from repro.runtime.objects import Heap, TypeRegistry
 from repro.sim.timing import TimingModel
+from repro.target import get_target
 
 EXIT_SENTINEL = 0xDEAD0000
 _INT_MASK = (1 << 64) - 1
@@ -78,14 +79,25 @@ class CPU:
         self._outlined_index = self._compute_outlined_indices()
         self._data_lo = image.data_base
         self._data_hi = image.data_end
+        # Variable-width fetch state: address -> instruction index, and the
+        # per-instruction encoded widths.  ``None`` selects the uniform
+        # fixed-width fast path (pc -> index by shift).
+        if image.instr_addrs is not None:
+            spec = get_target(image.target_name)
+            self._addr_to_idx: Optional[Dict[int, int]] = {
+                addr: i for i, addr in enumerate(image.instr_addrs)}
+            self._widths: Optional[List[int]] = [
+                spec.instr_bytes(i) for i in image.instrs]
+        else:
+            self._addr_to_idx = None
+            self._widths = None
 
     def _compute_outlined_indices(self) -> List[bool]:
         flags = [False] * len(self.image.instrs)
-        base = self.image.text_base
         for ext in self.image.functions:
             if ext.is_outlined:
-                lo = (ext.start - base) >> 2
-                hi = (ext.end - base) >> 2
+                lo = self.image.index_of_addr(ext.start)
+                hi = self.image.index_of_addr(ext.end)
                 for i in range(lo, hi):
                     flags[i] = True
         return flags
@@ -196,10 +208,16 @@ class CPU:
         while True:
             if self.pc == EXIT_SENTINEL:
                 break
-            idx = (self.pc - base) >> 2
-            if idx < 0 or idx >= len(instrs):
-                raise SimulationError(
-                    f"pc out of text range: 0x{self.pc:x}")
+            if self._addr_to_idx is None:
+                idx = (self.pc - base) >> 2
+                if idx < 0 or idx >= len(instrs):
+                    raise SimulationError(
+                        f"pc out of text range: 0x{self.pc:x}")
+            else:
+                idx = self._addr_to_idx.get(self.pc, -1)
+                if idx < 0:
+                    raise SimulationError(
+                        f"pc is not an instruction start: 0x{self.pc:x}")
             self.steps += 1
             if self.steps > self.max_steps:
                 raise SimulationError(
@@ -207,7 +225,9 @@ class CPU:
             if self._outlined_index[idx]:
                 self.outlined_steps += 1
             if timing is not None:
-                timing.on_instr(self.pc)
+                timing.on_instr(self.pc,
+                                4 if self._widths is None
+                                else self._widths[idx])
             self._execute(instrs[idx], idx)
         leaked = self.heap.leaked_objects() if check_leaks else []
         self._record_metrics(leaked)
@@ -264,7 +284,7 @@ class CPU:
         ops = instr.operands
         regs = self.regs
         pc = self.pc
-        next_pc = pc + 4
+        next_pc = pc + (4 if self._widths is None else self._widths[idx])
 
         if op is Opcode.ORRXrs:
             regs[ops[0]] = self._r(ops[1]) | self._r(ops[2])

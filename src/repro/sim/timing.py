@@ -97,10 +97,21 @@ class TimingModel:
 
     # -- events ------------------------------------------------------------
 
-    def on_instr(self, addr: int) -> None:
+    def on_instr(self, addr: int, width: int = 4) -> None:
+        """Fetch of one instruction at *addr*, *width* bytes long.
+
+        On fixed-width targets a 4-byte instruction at 4-byte alignment can
+        never span a cache line, so the extra end-of-instruction access is
+        a no-op there; on compressed targets a 4-byte instruction at a
+        2-byte boundary can straddle two lines and both are touched.
+        """
         self.cycles += 1
         if not self.icache.access(addr):
             self.cycles += self.config.icache_miss_cycles
+        last = addr + width - 1
+        if last // self.config.line_bytes != addr // self.config.line_bytes:
+            if not self.icache.access(last):
+                self.cycles += self.config.icache_miss_cycles
         if not self.itlb.access(addr):
             self.cycles += self.config.itlb_miss_cycles
             page = addr // self.config.page_bytes

@@ -1,0 +1,51 @@
+"""The ``arm64`` target: the paper's fixed-width AArch64-like machine.
+
+This spec is built from the same constants `isa/registers.py` has always
+exported, with an empty narrow-opcode set (every instruction is 4 bytes).
+It is the refactor's correctness oracle: building for ``arm64`` must be
+bit-identical to the pre-TargetSpec pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.isa import registers as R
+from repro.target.spec import (
+    CallingConvention,
+    RegisterFile,
+    TargetSpec,
+    WidthModel,
+)
+
+ARM64 = TargetSpec(
+    name="arm64",
+    description="Fixed-width AArch64-like target (4-byte instructions); "
+                "the paper's production configuration.",
+    regs=RegisterFile(
+        gprs=R.GPRS,
+        fprs=R.FPRS,
+        sp=R.SP,
+        zero=R.XZR,
+        fp=R.FP,
+        lr=R.LR,
+    ),
+    cc=CallingConvention(
+        arg_gprs=R.ARG_GPRS,
+        arg_fprs=R.ARG_FPRS,
+        ret_gpr=R.RET_GPR,
+        ret_fpr=R.RET_FPR,
+        error_reg=R.ERROR_REG,
+        callee_saved_gprs=R.CALLEE_SAVED_GPRS,
+        callee_saved_fprs=R.CALLEE_SAVED_FPRS,
+        caller_saved_gprs=R.CALLER_SAVED_GPRS,
+        caller_saved_fprs=R.CALLER_SAVED_FPRS,
+        allocatable_gprs=R.ALLOCATABLE_GPRS,
+        allocatable_fprs=R.ALLOCATABLE_FPRS,
+        scratch_gprs=(R.SCRATCH_GPR0, R.SCRATCH_GPR1, R.SCRATCH_GPR2),
+        scratch_fprs=(R.SCRATCH_FPR0, R.SCRATCH_FPR1),
+        max_reg_args=8,
+    ),
+    widths=WidthModel(default_bytes=4, narrow_bytes=4,
+                      narrow_opcodes=frozenset()),
+    function_alignment=4,
+    function_metadata_bytes=32,
+)

@@ -1,0 +1,59 @@
+"""The ``thumb2c`` target: a Thumb-2-style compressed-width machine.
+
+Same register file and calling convention as ``arm64``, but with a
+variable 2/4-byte encoding modelled on Thumb-2: common ALU forms, local
+branches, small-immediate loads/stores, ``RET`` and ``NOP`` have 16-bit
+encodings; symbolic references (calls, tail calls, address formation) and
+large immediates always take the 32-bit encoding.
+
+This target is what makes the outliner's cost model genuinely byte-based:
+an N-instruction candidate is no longer worth ``N * 4`` bytes, and
+function-start alignment padding (4-byte alignment over 2-byte
+instructions) actually exists, so the linker, verifier, and simulator all
+have to consult per-instruction widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.isa.instructions import Opcode
+from repro.target.arm64 import ARM64
+from repro.target.spec import TargetSpec, WidthModel
+
+#: Opcodes with a 16-bit encoding (subject to the no-Sym / small-immediate
+#: rules in :class:`~repro.target.spec.WidthModel`).  The set mirrors the
+#: Thumb-2 16-bit instruction space: MOV/ALU register forms, small
+#: add/sub immediates, compare-and-set, local branches, single-register
+#: unsigned-offset loads/stores, and RET/NOP.
+NARROW_OPCODES = frozenset({
+    Opcode.MOVZXi,
+    Opcode.ORRXrs,
+    Opcode.ADDXri, Opcode.ADDXrr,
+    Opcode.SUBXri, Opcode.SUBXrr,
+    Opcode.SUBSXri, Opcode.SUBSXrr,
+    Opcode.ANDXrr, Opcode.EORXrr,
+    Opcode.LSLVXrr, Opcode.LSRVXrr, Opcode.ASRVXrr,
+    Opcode.CSETXi,
+    Opcode.LDRXui, Opcode.STRXui,
+    Opcode.B, Opcode.Bcc, Opcode.CBZX, Opcode.CBNZX,
+    Opcode.RET, Opcode.NOP,
+})
+
+THUMB2C = TargetSpec(
+    name="thumb2c",
+    description="Thumb-2-style compressed target (2/4-byte instructions, "
+                "4-byte function alignment); exercises variable-width "
+                "byte accounting end to end.",
+    regs=ARM64.regs,
+    cc=ARM64.cc,
+    widths=WidthModel(default_bytes=4, narrow_bytes=2,
+                      narrow_opcodes=NARROW_OPCODES,
+                      narrow_imm_limit=256),
+    function_alignment=4,
+    function_metadata_bytes=32,
+)
+
+# `replace` is re-exported for tests that derive one-off variant specs
+# (e.g. a different alignment) without rebuilding the whole record.
+__all__ = ["THUMB2C", "NARROW_OPCODES", "replace"]

@@ -1,0 +1,203 @@
+"""Cross-target differential tests for the TargetSpec abstraction.
+
+Three claims, each enforced directly:
+
+1. **arm64 is the correctness oracle** — with the default target every
+   build is bit-identical to golden images captured before the target
+   refactor (``tests/fixtures/golden_arm64.json``), so the abstraction
+   costs exactly zero bytes of behaviour change.
+2. **thumb2c is a real variable-width target** — its images carry a
+   per-instruction address table, pass the structural verifier
+   (alignment padding included), never grow under outlining, and run to
+   the same program output as arm64.
+3. **Targets never share cache entries** — the backend fingerprint keys
+   the image cache by target, so a thumb2c rebuild over a warm arm64
+   cache recompiles instead of resurrecting 4-byte code.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.errors import ImageVerifierError
+from repro.link.verify import verify_image
+from repro.pipeline import BuildConfig, build_program
+from repro.pipeline.build import run_build
+from repro.target import get_target
+from repro.workloads.appgen import AppSpec, generate_app
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "..", "fixtures",
+                           "golden_arm64.json")
+
+#: The same app the golden fixture was generated from.
+APP_SPEC = AppSpec(seed=11, base_features=4, num_vendors=2)
+
+GOLDEN_CONFIGS = {
+    "app-default-r3": dict(pipeline="default", outline_rounds=3),
+    "app-nearcallers-r5": dict(outline_rounds=5,
+                               outlined_layout="near-callers"),
+    "app-wholeprogram-r0": dict(outline_rounds=0),
+    "app-wholeprogram-r5": dict(outline_rounds=5),
+}
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return generate_app(APP_SPEC)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+# --- 1. arm64 stays bit-identical to the pre-refactor golden images ----------
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN_CONFIGS))
+def test_arm64_bit_identical_to_golden(case, sources, golden):
+    result = build_program(sources, BuildConfig(target="arm64",
+                                                **GOLDEN_CONFIGS[case]))
+    image = result.image
+    want = golden[case]
+    assert _sha(image.text_section()) == want["text_sha256"]
+    assert _sha(image.data_section()) == want["data_sha256"]
+    assert result.sizes.text_bytes == want["text_bytes"]
+    assert result.sizes.binary_bytes == want["binary_bytes"]
+    assert result.sizes.num_instrs == want["num_instrs"]
+    assert result.sizes.num_functions == want["num_functions"]
+    # The fixed-width target keeps the uniform layout: no address table,
+    # no alignment padding.
+    assert image.instr_addrs is None
+    assert image.alignment_padding_bytes == 0
+
+
+# --- 2. thumb2c: variable-width layout, verified, shrinking, same output -----
+
+
+@pytest.fixture(scope="module")
+def thumb_results(sources):
+    return {rounds: build_program(sources, BuildConfig(
+                outline_rounds=rounds, target="thumb2c"))
+            for rounds in (0, 1, 3, 5)}
+
+
+def test_thumb2c_layout_is_variable_width_and_padded(thumb_results):
+    image = thumb_results[5].image
+    assert image.target_name == "thumb2c"
+    assert image.instr_addrs is not None
+    assert len(image.instr_addrs) == len(image.instrs)
+    spec = get_target("thumb2c")
+    widths = {spec.instr_bytes(i) for i in image.instrs}
+    assert widths == {2, 4}, "a compressed build should mix widths"
+    # Function starts honour the target alignment; the gaps are padding.
+    for ext in image.functions:
+        assert ext.start % spec.function_alignment == 0
+    assert image.text_bytes < len(image.instrs) * 4, \
+        "variable-width text must be denser than fixed-width"
+
+
+def test_thumb2c_passes_the_structural_verifier(thumb_results):
+    for result in thumb_results.values():
+        verify_image(result.image)  # target taken from the image
+        assert result.report.image_verified
+
+
+def test_thumb2c_outlining_never_increases_text(thumb_results):
+    sizes = {r: res.sizes.text_bytes for r, res in thumb_results.items()}
+    assert sizes[1] <= sizes[0]
+    assert sizes[3] <= sizes[1]
+    assert sizes[5] <= sizes[3]
+    assert sizes[5] < sizes[0], "five rounds must actually save bytes"
+
+
+def test_thumb2c_runs_to_the_same_output_as_arm64(sources, thumb_results):
+    # With outlining the two targets legally produce *different* code
+    # (their cost models disagree about what is profitable), so only the
+    # program's observable output must match at rounds=5 ...
+    arm5 = build_program(sources, BuildConfig(outline_rounds=5,
+                                              target="arm64"))
+    assert run_build(thumb_results[5]).output == run_build(arm5).output
+    # ... while at rounds=0 the instruction stream is identical and the
+    # retired-instruction count must match exactly.
+    arm0 = build_program(sources, BuildConfig(outline_rounds=0,
+                                              target="arm64"))
+    arm_exec = run_build(arm0)
+    thumb_exec = run_build(thumb_results[0])
+    assert thumb_exec.output == arm_exec.output
+    assert thumb_exec.steps == arm_exec.steps
+
+
+def test_verifier_rejects_misaligned_thumb2c_layout(thumb_results):
+    import pickle
+
+    img = pickle.loads(pickle.dumps(thumb_results[5].image))
+    # Shift the second function's extent (and its instructions' recorded
+    # addresses) off the target's alignment grid by the narrow width.
+    ext = img.functions[1]
+    lo = img.index_of_addr(ext.start)
+    hi = img.index_of_addr(ext.end)
+    ext.start += 2
+    ext.end += 2
+    img.symbols[ext.name] += 2
+    for i in range(lo, hi):
+        img.instr_addrs[i] += 2
+    with pytest.raises(ImageVerifierError, match="align|contiguous"):
+        verify_image(img)
+
+
+# --- 3. targets never collide in the image cache -----------------------------
+
+
+def test_image_cache_entries_are_keyed_by_target(sources, tmp_path):
+    arm_cfg = BuildConfig(outline_rounds=2, incremental=True,
+                          cache_dir=str(tmp_path), target="arm64")
+    thumb_cfg = BuildConfig(outline_rounds=2, incremental=True,
+                            cache_dir=str(tmp_path), target="thumb2c")
+    cold_arm = build_program(sources, arm_cfg)
+    assert not cold_arm.report.image_cache_hit
+    # Same sources, same cache dir, different target: must be a miss.
+    cold_thumb = build_program(sources, thumb_cfg)
+    assert not cold_thumb.report.image_cache_hit
+    assert cold_thumb.image.target_name == "thumb2c"
+    assert cold_thumb.sizes.text_bytes != cold_arm.sizes.text_bytes
+    # Each target then hits its own entry and round-trips its own image.
+    warm_arm = build_program(sources, arm_cfg)
+    warm_thumb = build_program(sources, thumb_cfg)
+    assert warm_arm.report.image_cache_hit
+    assert warm_thumb.report.image_cache_hit
+    assert warm_arm.image.target_name == "arm64"
+    assert warm_thumb.image.target_name == "thumb2c"
+    assert (_sha(warm_thumb.image.text_section())
+            == _sha(cold_thumb.image.text_section()))
+
+
+def test_backend_fingerprint_differs_per_target():
+    a = BuildConfig(target="arm64").backend_fingerprint()
+    b = BuildConfig(target="thumb2c").backend_fingerprint()
+    assert a != b
+
+
+# --- cross-target generality experiment --------------------------------------
+
+
+def test_generality_reports_every_target_per_corpus():
+    from repro.experiments import generality
+
+    result = generality.run(rounds=1, targets=("arm64", "thumb2c"))
+    assert result.targets == ("arm64", "thumb2c")
+    by_target = {}
+    for row in result.corpora:
+        by_target.setdefault(row.target, set()).add(row.corpus)
+        assert row.outlined_text <= row.baseline_text
+    assert by_target["arm64"] == by_target["thumb2c"] == {
+        "linux-kernel", "clang"}
+    report = generality.format_report(result)
+    assert "thumb2c" in report and "arm64" in report

@@ -152,9 +152,13 @@ def test_table2_stats_consistent_with_functions():
     outlined_fns = [f for m in opt.machine_modules for f in m.functions
                     if f.is_outlined]
     assert stats[-1].functions_created == len(outlined_fns)
-    # Bytes are recorded at creation time; later rounds may shrink earlier
-    # outlined functions (tail-call outlining applies inside them), so the
-    # cumulative stat is an upper bound on the live size.
-    live_bytes = sum(f.size_bytes for f in outlined_fns)
+    # Bytes are recorded at creation time under the build's target spec;
+    # later rounds may shrink earlier outlined functions (tail-call
+    # outlining applies inside them), so the cumulative stat is an upper
+    # bound on the live size.
+    from repro.target import get_target
+
+    spec = get_target(opt.config.target)
+    live_bytes = sum(spec.function_body_bytes(f) for f in outlined_fns)
     assert live_bytes <= stats[-1].outlined_fn_bytes
     assert stats[-1].outlined_fn_bytes <= 1.2 * live_bytes

@@ -43,8 +43,9 @@ SMOKE = {
                                include_pathological=False,
                                max_steps=2_000_000),
                           {"rows": True, "pathological": False}),
-    "generality": (dict(rounds=2),
-                   {"corpora": True, "kernel_guard_pattern_found": False}),
+    "generality": (dict(rounds=2, targets=("arm64", "thumb2c")),
+                   {"corpora": True, "kernel_guard_pattern_found": False,
+                    "targets": True}),
     # future_work's report reads the (inlined, rounds=5) grid cell, so it
     # keeps the default round count; tiny scale keeps it fast anyway.
     "future_work": (dict(scale="tiny", num_spans=2),

@@ -4,6 +4,7 @@ from repro.analysis.semantic import measure_headroom
 from repro.isa.instructions import MachineFunction, MachineInstr, Opcode, Sym
 from repro.isa.registers import FP, LR, SP
 from repro.pipeline import BuildConfig, build_program, run_build
+from repro.target.arm64 import ARM64
 from repro.workloads.appgen import AppSpec, generate_app
 
 
@@ -34,7 +35,12 @@ class TestNearCallersLayout:
         near = build_program(sources, BuildConfig(
             outline_rounds=3, outlined_layout="near-callers"))
         assert run_build(appended).output == run_build(near).output
-        assert appended.sizes.text_bytes == near.sizes.text_bytes
+        # Reordering functions can change *alignment padding* on a
+        # variable-width target; the encoded code bytes must not move.
+        assert (appended.sizes.text_bytes
+                - appended.image.alignment_padding_bytes
+                == near.sizes.text_bytes
+                - near.image.alignment_padding_bytes)
 
     def test_outlined_functions_relocate(self):
         sources = self._app()
@@ -87,7 +93,9 @@ class TestSemanticHeadroom:
             framed("c", seq(7, 8, 9)),
             framed("d", seq(10, 11, 12)),
         ]
-        h = measure_headroom(fns)
+        # Pinned to the fixed-width spec: the profitability thresholds
+        # below document the paper's AArch64 cost arithmetic.
+        h = measure_headroom(fns, target=ARM64)
         assert h.exact_benefit_bytes == 0
         assert h.abstract_benefit_bytes > 0
         assert h.extra_benefit_bytes == h.abstract_benefit_bytes
@@ -95,7 +103,7 @@ class TestSemanticHeadroom:
     def test_abstract_at_least_exact(self):
         fns = [framed(f"f{k}", seq(1, 2, 3) + seq(20 + k))
                for k in range(4)]
-        h = measure_headroom(fns)
+        h = measure_headroom(fns, target=ARM64)
         assert h.abstract_benefit_bytes >= h.exact_benefit_bytes > 0
 
     def test_app_headroom_positive(self):

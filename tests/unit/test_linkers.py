@@ -119,7 +119,10 @@ def make_machine_module():
 
 class TestSystemLinker:
     def test_layout_and_symbols(self):
-        image = link_binary([make_machine_module()], entry_symbol="main")
+        # Pinned to arm64: the addresses below document the uniform
+        # fixed-width layout rule (base + index * 4).
+        image = link_binary([make_machine_module()], entry_symbol="main",
+                            target="arm64")
         assert image.symbols["main"] == TEXT_BASE
         assert image.symbols["helper"] == TEXT_BASE + 5 * 4
         assert image.data_base % PAGE_SIZE == 0
@@ -179,7 +182,7 @@ class TestSystemLinker:
         assert image.function_at(0x5) is None
 
     def test_size_accounting(self):
-        image = link_binary([make_machine_module()])
+        image = link_binary([make_machine_module()], target="arm64")
         assert image.text_bytes == 6 * 4
         assert image.metadata_bytes == 2 * 32
         assert image.binary_bytes == (image.text_bytes + image.data_bytes

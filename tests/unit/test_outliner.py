@@ -25,6 +25,10 @@ from repro.outliner.cost_model import OutlineClass, classify, cost_of
 from repro.outliner.machine_outliner import OUTLINED_PREFIX, run_one_round
 from repro.outliner.repeated import repeated_outline_functions
 from repro.outliner.stats import collect_patterns
+# Byte-exact cost assertions below document the paper's fixed-width
+# AArch64 arithmetic, so they pin the arm64 spec rather than inheriting
+# the session default (which CI varies via REPRO_TARGET).
+from repro.target.arm64 import ARM64
 
 
 def mi(opcode, *operands, **kw):
@@ -122,18 +126,18 @@ class TestCostModel:
         assert classify(s) is OutlineClass.DEFAULT
 
     def test_benefit_math_no_lr_save(self):
-        cost = cost_of(seq(1, 2, 3))
+        cost = cost_of(seq(1, 2, 3), ARM64)
         # 3-instr sequence, 4 occurrences: before 4*12=48,
         # after 4*4 (calls) + 16 (fn = seq+RET) = 32 -> benefit 16.
         assert cost.benefit(4) == 16
 
     def test_two_instr_two_occurrences_unprofitable(self):
-        cost = cost_of(seq(1, 2))
+        cost = cost_of(seq(1, 2), ARM64)
         # before 2*8=16; after 2*4 + 12 = 20 -> negative.
         assert cost.benefit(2) < 1
 
     def test_thunk_benefit(self):
-        cost = cost_of(seq(1) + [mi(Opcode.BL, Sym("f"))])
+        cost = cost_of(seq(1) + [mi(Opcode.BL, Sym("f"))], ARM64)
         # 2-instr thunk, 3 occurrences: before 24, after 3*4 + 8 = 20.
         assert cost.benefit(3) == 4
 
@@ -146,7 +150,7 @@ class TestRounds:
         fns = [framed_function("a", seq(1, 2, 3) + seq(9)),
                framed_function("b", seq(1, 2, 3) + seq(8)),
                framed_function("c", seq(1, 2, 3) + seq(7))]
-        stats = run_one_round(fns, itertools.count(0))
+        stats = run_one_round(fns, itertools.count(0), target=ARM64)
         assert stats.functions_created >= 1
         outlined = [f for f in fns if f.is_outlined]
         assert outlined
@@ -217,7 +221,7 @@ class TestRounds:
         body = [mi(Opcode.BL, Sym("ext"))] + seq(1, 2, 3)
         fns = [framed_function(f"f{k}", list(body) + seq(10 + k))
                for k in range(5)]
-        run_one_round(fns, itertools.count(0))
+        run_one_round(fns, itertools.count(0), target=ARM64)
         outlined = [f for f in fns if f.is_outlined]
         defaults = [f for f in outlined
                     if any(i.opcode is Opcode.BL and i.callee() == "ext"
@@ -234,7 +238,7 @@ class TestStats:
     def test_collect_patterns_counts(self):
         fns = [framed_function(f"f{k}", seq(1, 2, 3) + seq(30 + k))
                for k in range(4)]
-        stats = collect_patterns(fns)
+        stats = collect_patterns(fns, target=ARM64)
         assert stats
         top = stats[0]
         assert top.num_candidates == 4

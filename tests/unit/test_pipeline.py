@@ -65,9 +65,14 @@ class TestBuildProgram:
         assert len(result.machine_modules) == 1
 
     def test_sizes_report_consistent(self):
+        from repro.target import get_target
+
         result = build_program({"M": SOURCE})
         sizes = result.sizes
-        assert sizes.text_bytes == 4 * sizes.num_instrs
+        spec = get_target(result.image.target_name)
+        encoded = sum(spec.instr_bytes(i) for i in result.image.instrs)
+        assert sizes.text_bytes == (encoded
+                                    + result.image.alignment_padding_bytes)
         assert sizes.binary_bytes == (sizes.text_bytes + sizes.data_bytes
                                       + sizes.metadata_bytes)
 
