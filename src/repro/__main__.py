@@ -79,6 +79,7 @@ def _build(args):
                          outline_rounds=args.rounds,
                          data_layout=args.data_layout,
                          target=args.target,
+                         merge_mode=args.merge,
                          workers=args.workers,
                          incremental=args.incremental,
                          cache_dir=args.cache_dir,
@@ -197,6 +198,13 @@ def _add_build_args(parser) -> None:
                         help="target specification (instruction widths, "
                              "alignment, calling convention); default "
                              "$REPRO_TARGET or arm64")
+    from repro.pipeline.config import MERGE_MODES, default_merge_mode
+    parser.add_argument("--merge", default=default_merge_mode(),
+                        choices=MERGE_MODES,
+                        help="whole-program function merging: off, exact "
+                             "(bit-identical dedup), or optimistic "
+                             "(similarity merging with priced thunks); "
+                             "default $REPRO_MERGE or off")
     parser.add_argument("--data-layout", default="module-order",
                         choices=("module-order", "interleaved"))
     parser.add_argument("--workers", type=int, default=1,

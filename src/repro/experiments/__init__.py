@@ -17,6 +17,7 @@ from repro.experiments import (  # noqa: F401
     fig13_spans,
     future_work,
     generality,
+    mergeorder,
     table1_landscape,
     table2_stats,
     table4_benchmarks,
@@ -38,4 +39,5 @@ ALL_EXPERIMENTS = {
     "table4_benchmarks": table4_benchmarks,
     "generality": generality,
     "future_work": future_work,
+    "mergeorder": mergeorder,
 }

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.lir import ir
-from repro.lir.passes.mergefunctions import _address_taken
+from repro.lir.passes.mergefunctions import _address_taken, const_token
 
 #: Extra const parameters must fit the register-argument budget.
 MAX_EXTRA_PARAMS = 4
@@ -135,9 +135,12 @@ def run_on_module(module: ir.LIRModule) -> Dict[str, int]:
         nconsts = len(rep_consts)
         if any(len(c) != nconsts for _, c in members):
             continue  # float/int shape mismatch guard
+        # const_token, not (value, is_float): Python equality would fold
+        # 0.0/-0.0 and True/1 into "identical", silently dropping a real
+        # difference instead of parameterising it.
         diff = [
             i for i in range(nconsts)
-            if len({(c[i].value, c[i].is_float) for _, c in members}) > 1
+            if len({const_token(c[i]) for _, c in members}) > 1
         ]
         if not diff:
             continue  # identical: MergeFunctions territory

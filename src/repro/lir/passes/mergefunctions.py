@@ -13,9 +13,28 @@ As the paper reports, exact-duplicate functions are rare in practice
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, List, Tuple
 
 from repro.lir import ir
+
+
+def const_token(const: ir.Const) -> Tuple:
+    """Collision-free canonical token for an immediate.
+
+    Python's ``==``/``hash`` conflate values that the backend materialises
+    differently: ``0.0 == -0.0``, ``True == 1``, ``2.0 == 2``.  Two
+    functions differing only in such a constant are *not* equivalent (the
+    sign of a printed float zero is observable), so the canonical key must
+    separate them.  Floats are keyed by their IEEE-754 bit pattern, which
+    also distinguishes NaN payloads; bools and ints get distinct tags.
+    """
+    value = const.value
+    if isinstance(value, bool):
+        return ("b", value, const.is_float)
+    if isinstance(value, float):
+        return ("f", struct.pack(">d", value), const.is_float)
+    return ("i", value, const.is_float)
 
 
 def canonical_key(fn: ir.LIRFunction) -> Tuple:
@@ -33,7 +52,7 @@ def canonical_key(fn: ir.LIRFunction) -> Tuple:
         if ir.is_value(op):
             return ("v", vid(op))
         if isinstance(op, ir.Const):
-            return ("c", op.value, op.is_float)
+            return ("c",) + const_token(op)
         if isinstance(op, ir.GlobalRef):
             return ("g", op.symbol)
         if isinstance(op, ir.FuncRef):
@@ -66,7 +85,16 @@ def canonical_key(fn: ir.LIRFunction) -> Tuple:
                         for lbl, op in value)))
                 elif name in ("target", "true_target", "false_target"):
                     entry.append((name, block_index.get(value, -1)))
+                elif name == "callee":
+                    # Call-target identity, spelled out rather than left to
+                    # the generic fallback: rewriting callees is exactly
+                    # what merging does, so bodies calling different
+                    # functions must never share an equivalence class.
+                    entry.append(("call-target", value))
                 else:
+                    # Remaining fields are instruction flags and opcode
+                    # selectors (op/pred/kind/is_float/throws/symbol/...):
+                    # included verbatim so no flag is ever abstracted away.
                     entry.append((name, value))
             row.append(tuple(entry))
         body.append(tuple(row))

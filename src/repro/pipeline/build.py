@@ -113,6 +113,39 @@ def optimize_module(module: lir_ir.LIRModule) -> None:
     PassManager(osize_pipeline()).run(module)
 
 
+#: merge_mode -> the pass name that implements it (report/metrics key).
+_MERGE_PASS_NAME = {"exact": "mergefunctions", "optimistic": "optmerge"}
+
+
+def _merge_passes(config: BuildConfig, per_module: bool = False):
+    """The ``merge_mode`` pass stage.
+
+    Runs *after* the scalar cleanup passes: the optimistic merger prices
+    candidates by compiling them, so it must see exactly the LIR that llc
+    will compile.  ``per_module`` namespaces merged-body symbols by module
+    (the default pipeline's llc does the same for outlined functions).
+    """
+    from repro.pipeline.config import MERGE_MODES
+
+    if config.merge_mode not in MERGE_MODES:
+        raise ReproError(f"unknown merge_mode {config.merge_mode!r}; "
+                         f"expected one of: {', '.join(MERGE_MODES)}")
+    if config.merge_mode == "exact":
+        from repro.lir.passes import mergefunctions
+
+        return [("mergefunctions", mergefunctions.run_on_module)]
+    if config.merge_mode == "optimistic":
+        from repro.lir.passes import optmerge
+
+        def run(module: lir_ir.LIRModule):
+            prefix = f"{module.name}::" if per_module else ""
+            return optmerge.run_on_module(module, target=config.target,
+                                          symbol_prefix=prefix)
+
+        return [("optmerge", run)]
+    return []
+
+
 def _wholeprogram_passes(config: BuildConfig):
     """The merged-IR -Osize sequence (order matters; see Figure 10)."""
     from repro.lir.passes import constprop, dce, globaldce, simplifycfg
@@ -139,7 +172,17 @@ def _wholeprogram_passes(config: BuildConfig):
         ("dce", dce.run_on_module),
         ("simplifycfg", simplifycfg.run_on_module),
     ])
+    passes.extend(_merge_passes(config))
     return passes
+
+
+def _note_merge_stats(result: "BuildResult", config: BuildConfig,
+                      report: BuildReport) -> None:
+    """Copy the merge-stage pass report into the build report."""
+    name = _MERGE_PASS_NAME.get(config.merge_mode)
+    stats = result.pass_reports.get(name) if name else None
+    if isinstance(stats, dict):
+        report.merge_stats = dict(stats)
 
 
 def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
@@ -154,6 +197,7 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
         num_modules=len(lir_modules), target=str(config.target))
     if not report.target:
         report.target = str(config.target)
+    report.merge_mode = config.merge_mode
     entry = None
     for module in lir_modules:
         if module.entry_symbol:
@@ -172,9 +216,10 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
             # and instruction/function deltas recorded by the manager.
             reports = PassManager(_wholeprogram_passes(config),
                                   scope="wholeprogram").run(merged)
-            for name in ("inliner", "mergefunctions", "fmsa"):
+            for name in ("inliner", "mergefunctions", "fmsa", "optmerge"):
                 if name in reports:
                     result.pass_reports[name] = reports[name]
+            _note_merge_stats(result, config, report)
         result.phase_work["llvm-link"] = merged.num_instrs
         result.phase_work["opt"] = merged.num_instrs
         # llc lowers the pre-outlining program; record its work before the
@@ -188,12 +233,26 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
         result.machine_modules = [llc_out.module]
         result.outline_stats = llc_out.outline_stats
     elif config.pipeline == "default":
-        if config.enable_inliner:
-            from repro.lir.passes import inliner
-
+        merge_stack = _merge_passes(config, per_module=True)
+        if config.enable_inliner or merge_stack:
             with report.phase("opt"):
+                if config.enable_inliner:
+                    from repro.lir.passes import inliner
+
+                    for module in lir_modules:
+                        inliner.run_on_module(module)
+                for name, _ in merge_stack:
+                    result.pass_reports.setdefault(name, {})
                 for module in lir_modules:
-                    inliner.run_on_module(module)
+                    # Merging is per-module here (mirroring per-module llc);
+                    # the manager still records spans and deltas per run.
+                    reports = PassManager(merge_stack,
+                                          scope="module").run(module)
+                    for name, pass_report in reports.items():
+                        agg = result.pass_reports[name]
+                        for key, value in dict(pass_report).items():
+                            agg[key] = agg.get(key, 0) + value
+                _note_merge_stats(result, config, report)
         with report.phase("llc"):
             workers = parallel.resolve_workers(config.workers)
             outputs = parallel.llc_modules(
@@ -405,7 +464,8 @@ def _build_program(items: List[Tuple[str, str]],
     report = BuildReport(num_modules=len(items),
                          workers=parallel.resolve_workers(config.workers),
                          cache_enabled=config.incremental,
-                         target=str(config.target))
+                         target=str(config.target),
+                         merge_mode=config.merge_mode)
     cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
              if config.incremental else None)
 
@@ -424,13 +484,16 @@ def _build_program(items: List[Tuple[str, str]],
             report.image_cache_hit = True
             _note_cache_recoveries(cache, report)
             _record_cache_metrics(cache, report)
-            return BuildResult(image=entry["image"], program=fe.program,
-                               registry=fe.registry, config=config,
-                               machine_modules=entry["machine_modules"],
-                               outline_stats=entry.get("outline_stats", []),
-                               pass_reports=entry.get("pass_reports", {}),
-                               phase_work=entry.get("phase_work", {}),
-                               report=report)
+            cached_result = BuildResult(
+                image=entry["image"], program=fe.program,
+                registry=fe.registry, config=config,
+                machine_modules=entry["machine_modules"],
+                outline_stats=entry.get("outline_stats", []),
+                pass_reports=entry.get("pass_reports", {}),
+                phase_work=entry.get("phase_work", {}),
+                report=report)
+            _note_merge_stats(cached_result, config, report)
+            return cached_result
 
     result = build_lir_modules(fe.lir_modules, config, registry=fe.registry,
                                program=fe.program, report=report)

@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.pipeline.faults import FaultPlan
 from repro.target import default_target_name
+
+#: Valid whole-program function-merging modes.
+MERGE_MODES = ("off", "exact", "optimistic")
+
+
+def default_merge_mode() -> str:
+    """The default merge mode, honouring ``REPRO_MERGE`` if set (the CI
+    matrix axis, mirroring ``REPRO_TARGET``)."""
+    env = os.environ.get("REPRO_MERGE", "").strip()
+    return env or "off"
 
 
 @dataclass
@@ -38,6 +49,13 @@ class BuildConfig:
     enable_merge_functions: bool = False
     enable_fmsa: bool = False
     enable_arc_opt: bool = True
+    #: Whole-program function merging stacked with the outliner:
+    #: "off", "exact" (bit-identical dedup only), or "optimistic"
+    #: (similarity-hash merging with priced thunks; see
+    #: :mod:`repro.lir.passes.optmerge`).  Runs *after* the scalar cleanup
+    #: passes so the merger prices exactly the LIR that llc compiles.
+    #: Defaults to ``$REPRO_MERGE`` or "off".
+    merge_mode: str = field(default_factory=default_merge_mode)
     #: Strip functions unreachable from the entry point (app builds).
     global_dce: bool = True
     #: Collect per-round outlining statistics (Table II).
@@ -93,6 +111,7 @@ class BuildConfig:
                 f"pipe={self.pipeline};rounds={self.outline_rounds};"
                 f"layout={self.data_layout};gc={self.gc_metadata_mode};"
                 f"merge={int(self.enable_merge_functions)};"
+                f"mergemode={self.merge_mode};"
                 f"fmsa={int(self.enable_fmsa)};"
                 f"gdce={int(self.global_dce)};"
                 f"stats={int(self.collect_outline_stats)};"

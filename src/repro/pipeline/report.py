@@ -55,6 +55,11 @@ class BuildReport:
     num_modules: int = 0
     #: Target specification the build was lowered for ("" = default).
     target: str = ""
+    #: Whole-program function-merging mode ("off"/"exact"/"optimistic").
+    merge_mode: str = "off"
+    #: Merge-stage pass report (empty when ``merge_mode`` is "off"):
+    #: functions_merged / thunks_created / bytes_saved / ...
+    merge_stats: Dict[str, int] = field(default_factory=dict)
     #: Worker processes used for the parallel frontend (1 = serial).
     workers: int = 1
     #: Whether the content-addressed cache was consulted.
@@ -143,6 +148,20 @@ class BuildReport:
                      f"{self.workers} worker(s), {cache}")
         if self.target:
             lines.append(f"target:    {self.target}")
+        if self.merge_mode != "off":
+            merged = self.merge_stats.get("functions_merged", 0)
+            detail = f"{self.merge_mode}, {merged} function(s) merged"
+            exact = self.merge_stats.get("exact_merged")
+            if exact is not None:
+                detail += (f" ({exact} exact, "
+                           f"{self.merge_stats.get('parameterized_merged', 0)}"
+                           f" parameterized, "
+                           f"{self.merge_stats.get('thunks_created', 0)}"
+                           f" thunks)")
+            saved = self.merge_stats.get("bytes_saved")
+            if saved:
+                detail += f", ~{saved}B saved"
+            lines.append(f"merge:     {detail}")
         if self.phase_wall:
             parts = ", ".join(f"{name} {secs * 1000:.0f}ms"
                               for name, secs in self.phase_wall.items())

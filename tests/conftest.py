@@ -1,0 +1,32 @@
+"""Shared fixtures for the differential test suites.
+
+The merge, outline, and cross-target tests all follow the same pattern —
+"build this program under config X and run it in the simulator" — so the
+build-and-run boilerplate lives here once.
+"""
+
+import pytest
+
+from repro.pipeline import BuildConfig, build_program, run_build
+
+
+@pytest.fixture
+def build_and_run():
+    """Build *sources* under *config* and execute the image in the sim.
+
+    Returns ``(result, execution)``: the :class:`BuildResult` (sizes,
+    image, reports) and the :class:`ExecutionResult` (output, steps,
+    leaks).  ``sources`` may be a plain string (a single module named
+    "Main") or a module-name -> source dict.
+    """
+
+    def _build_and_run(sources, config=None, *, max_steps=5_000_000,
+                       check_leaks=True):
+        if isinstance(sources, str):
+            sources = {"Main": sources}
+        result = build_program(sources, config or BuildConfig())
+        execution = run_build(result, max_steps=max_steps,
+                              check_leaks=check_leaks)
+        return result, execution
+
+    return _build_and_run

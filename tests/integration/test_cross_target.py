@@ -2,10 +2,12 @@
 
 Three claims, each enforced directly:
 
-1. **arm64 is the correctness oracle** — with the default target every
-   build is bit-identical to golden images captured before the target
-   refactor (``tests/fixtures/golden_arm64.json``), so the abstraction
-   costs exactly zero bytes of behaviour change.
+1. **Both targets are pinned bit-identically** — every build in
+   ``GOLDEN_CONFIGS`` must match the golden fixtures
+   (``tests/fixtures/golden_arm64.json`` / ``golden_thumb2c.json``), with
+   ``merge_mode="off"`` pinned so a leaking ``REPRO_MERGE`` can never
+   silently change the baseline.  A mismatch fails loudly, naming every
+   diverging field and how to regenerate on purpose.
 2. **thumb2c is a real variable-width target** — its images carry a
    per-instruction address table, pass the structural verifier
    (alignment padding included), never grow under outlining, and run to
@@ -16,6 +18,7 @@ Three claims, each enforced directly:
 """
 
 import hashlib
+import importlib.util
 import json
 import os
 
@@ -26,21 +29,18 @@ from repro.link.verify import verify_image
 from repro.pipeline import BuildConfig, build_program
 from repro.pipeline.build import run_build
 from repro.target import get_target
-from repro.workloads.appgen import AppSpec, generate_app
+from repro.workloads.appgen import generate_app
 
-GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "..", "fixtures",
-                           "golden_arm64.json")
+# The fixture spec, pinned configs, and observation schema live with the
+# regeneration script so the two can never drift apart.
+_MAKE_GOLDEN = os.path.join(os.path.dirname(__file__), "..", "fixtures",
+                            "make_golden.py")
+_spec = importlib.util.spec_from_file_location("make_golden", _MAKE_GOLDEN)
+make_golden = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(make_golden)
 
-#: The same app the golden fixture was generated from.
-APP_SPEC = AppSpec(seed=11, base_features=4, num_vendors=2)
-
-GOLDEN_CONFIGS = {
-    "app-default-r3": dict(pipeline="default", outline_rounds=3),
-    "app-nearcallers-r5": dict(outline_rounds=5,
-                               outlined_layout="near-callers"),
-    "app-wholeprogram-r0": dict(outline_rounds=0),
-    "app-wholeprogram-r5": dict(outline_rounds=5),
-}
+APP_SPEC = make_golden.APP_SPEC
+GOLDEN_CONFIGS = make_golden.GOLDEN_CONFIGS
 
 
 @pytest.fixture(scope="module")
@@ -50,33 +50,67 @@ def sources():
 
 @pytest.fixture(scope="module")
 def golden():
-    with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
-        return json.load(fh)
+    def _load(target):
+        with open(make_golden.golden_path(target), encoding="utf-8") as fh:
+            return json.load(fh)
+    return {target: _load(target) for target in make_golden.GOLDEN_TARGETS}
 
 
 def _sha(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-# --- 1. arm64 stays bit-identical to the pre-refactor golden images ----------
+def assert_matches_golden(target, case, got, want):
+    """Compare one observation to its golden record, failing loudly with
+    every diverging field spelled out."""
+    diffs = [f"  {field}: built {got[field]!r}, golden {want[field]!r}"
+             for field in make_golden.GOLDEN_FIELDS
+             if got[field] != want[field]]
+    if diffs:
+        pytest.fail(
+            f"{target} image for {case!r} diverged from the golden "
+            "fixture:\n" + "\n".join(diffs) +
+            "\nIf this change is intentional, regenerate with\n"
+            "  PYTHONPATH=src python tests/fixtures/make_golden.py\n"
+            "and commit the fixture diff with an explanation.")
+
+
+# --- 1. both targets stay bit-identical to the golden images -----------------
 
 
 @pytest.mark.parametrize("case", sorted(GOLDEN_CONFIGS))
 def test_arm64_bit_identical_to_golden(case, sources, golden):
     result = build_program(sources, BuildConfig(target="arm64",
                                                 **GOLDEN_CONFIGS[case]))
-    image = result.image
-    want = golden[case]
-    assert _sha(image.text_section()) == want["text_sha256"]
-    assert _sha(image.data_section()) == want["data_sha256"]
-    assert result.sizes.text_bytes == want["text_bytes"]
-    assert result.sizes.binary_bytes == want["binary_bytes"]
-    assert result.sizes.num_instrs == want["num_instrs"]
-    assert result.sizes.num_functions == want["num_functions"]
+    assert_matches_golden("arm64", case, make_golden.observe(result),
+                          golden["arm64"][case])
     # The fixed-width target keeps the uniform layout: no address table,
     # no alignment padding.
-    assert image.instr_addrs is None
-    assert image.alignment_padding_bytes == 0
+    assert result.image.instr_addrs is None
+    assert result.image.alignment_padding_bytes == 0
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN_CONFIGS))
+def test_thumb2c_bit_identical_to_golden(case, sources, golden):
+    result = build_program(sources, BuildConfig(target="thumb2c",
+                                                **GOLDEN_CONFIGS[case]))
+    assert_matches_golden("thumb2c", case, make_golden.observe(result),
+                          golden["thumb2c"][case])
+    assert result.image.instr_addrs is not None
+
+
+def test_golden_mismatch_names_every_diverging_field(golden):
+    """The loud-diff helper must name the fields that moved, so a golden
+    failure is diagnosable from the CI log alone."""
+    want = golden["arm64"]["app-wholeprogram-r0"]
+    got = dict(want, text_sha256="0" * 64, num_functions=want["num_functions"] + 1)
+    with pytest.raises(pytest.fail.Exception) as excinfo:
+        assert_matches_golden("arm64", "app-wholeprogram-r0", got, want)
+    message = str(excinfo.value)
+    assert "text_sha256" in message
+    assert "num_functions" in message
+    assert "make_golden.py" in message
+    assert "data_sha256" not in message, "unchanged fields must not be listed"
 
 
 # --- 2. thumb2c: variable-width layout, verified, shrinking, same output -----
@@ -84,8 +118,10 @@ def test_arm64_bit_identical_to_golden(case, sources, golden):
 
 @pytest.fixture(scope="module")
 def thumb_results(sources):
+    # merge_mode pinned off: these builds feed exact-size and
+    # exact-step-count assertions, which REPRO_MERGE must not perturb.
     return {rounds: build_program(sources, BuildConfig(
-                outline_rounds=rounds, target="thumb2c"))
+                outline_rounds=rounds, target="thumb2c", merge_mode="off"))
             for rounds in (0, 1, 3, 5)}
 
 
@@ -123,12 +159,14 @@ def test_thumb2c_runs_to_the_same_output_as_arm64(sources, thumb_results):
     # (their cost models disagree about what is profitable), so only the
     # program's observable output must match at rounds=5 ...
     arm5 = build_program(sources, BuildConfig(outline_rounds=5,
-                                              target="arm64"))
+                                              target="arm64",
+                                              merge_mode="off"))
     assert run_build(thumb_results[5]).output == run_build(arm5).output
     # ... while at rounds=0 the instruction stream is identical and the
     # retired-instruction count must match exactly.
     arm0 = build_program(sources, BuildConfig(outline_rounds=0,
-                                              target="arm64"))
+                                              target="arm64",
+                                              merge_mode="off"))
     arm_exec = run_build(arm0)
     thumb_exec = run_build(thumb_results[0])
     assert thumb_exec.output == arm_exec.output

@@ -7,9 +7,9 @@ control flow, functions, classes (ARC), arrays, closures, and try/catch.
 
 import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.pipeline import BuildConfig, build_program, run_build
+from repro.pipeline import BuildConfig
 
 
 class ProgramGenerator:
@@ -173,14 +173,14 @@ CONFIGS = (
 )
 
 
-@settings(max_examples=12, deadline=None)
-@given(st.integers(min_value=0, max_value=10 ** 9))
-def test_random_program_outline_equivalence(seed):
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(min_value=0, max_value=10 ** 9))
+def test_random_program_outline_equivalence(build_and_run, seed):
     source = ProgramGenerator(seed).generate()
     reference = None
     for config in CONFIGS:
-        execution = run_build(build_program({"Gen": source}, config),
-                              max_steps=5_000_000)
+        _, execution = build_and_run({"Gen": source}, config)
         assert execution.leaked == [], f"seed={seed} leaked"
         if reference is None:
             reference = execution.output

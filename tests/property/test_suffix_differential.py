@@ -90,7 +90,10 @@ func main() {
     print(mixOne(a: 3, b: 4) + mixTwo(a: 5, b: 6))
 }
 """
-    result = build_program({"M": source}, BuildConfig(outline_rounds=0))
+    # merge_mode pinned off: the duplicate pair must survive to machine
+    # code, or the mapped sequence collapses below the size this asserts.
+    result = build_program({"M": source}, BuildConfig(outline_rounds=0,
+                                                      merge_mode="off"))
     functions = [fn for module in result.machine_modules
                  for fn in module.functions]
     program = InstructionMapper().map_functions(functions)

@@ -51,6 +51,9 @@ SMOKE = {
     "future_work": (dict(scale="tiny", num_spans=2),
                     {"headroom": False, "inline_grid": True,
                      "layout_rows": True}),
+    "mergeorder": (dict(scale="tiny", rounds=2,
+                        targets=("arm64", "thumb2c")),
+                   {"rows": True, "targets": True}),
 }
 
 
@@ -74,3 +77,28 @@ def test_experiment_smoke(name):
     # one must not import a plotting backend as a side effect.
     assert "matplotlib" not in sys.modules
     assert "matplotlib.pyplot" not in sys.modules
+
+
+def test_mergeorder_optimistic_never_exceeds_exact():
+    """The experiment's headline claim: in both phase orders, on every
+    target, optimistic merging reports no more padded-text bytes than
+    exact merging, and merging never beats the outline-only baseline by
+    growing text."""
+    from repro.experiments import mergeorder
+
+    result = mergeorder.run(scale="tiny", rounds=2,
+                            targets=("arm64", "thumb2c"))
+    for target in result.targets:
+        baseline = result.row(target, "off", "before").text_bytes
+        for order in ("merge-only", "before", "after"):
+            exact = result.row(target, "exact", order)
+            optimistic = result.row(target, "optimistic", order)
+            assert optimistic.text_bytes <= exact.text_bytes, \
+                (target, order)
+        for mode in ("exact", "optimistic"):
+            for order in ("before", "after"):
+                assert result.row(target, mode, order).text_bytes \
+                    <= baseline, (target, mode, order)
+    report = mergeorder.format_report(result)
+    for token in ("arm64", "thumb2c", "optimistic", "merge-only"):
+        assert token in report
