@@ -1,10 +1,13 @@
-"""Command-line interface: build, run, inspect, and reproduce.
+"""Command-line interface: build, run, inspect, serve, and reproduce.
 
     python -m repro build app.sw [--rounds 5] [--pipeline wholeprogram]
     python -m repro run app.sw [--timing]
     python -m repro patterns app.sw [--top 10]
     python -m repro disasm app.sw [--function NAME]
     python -m repro experiments [name ...] [--scale small]
+    python -m repro serve --state-dir DIR [--queue-size N] [--deadline S]
+    python -m repro submit app.sw --state-dir DIR [--deadline S]
+    python -m repro status --state-dir DIR
 
 Multiple source files become one module each (module name = file stem).
 """
@@ -13,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import time
 from contextlib import contextmanager
@@ -165,6 +169,100 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service import BuildService, ServiceConfig
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
+        queue_size=args.queue_size,
+        job_workers=args.job_workers,
+        build_workers=args.build_workers,
+        default_deadline=args.deadline if args.deadline > 0 else None,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window=args.breaker_window,
+        breaker_cooldown=args.breaker_cooldown,
+        max_cache_bytes=args.max_cache_bytes,
+        fault_plan=_fault_plan(args))
+    service = BuildService(config)
+    service.start()
+
+    def _drain_signal(signum, frame):  # noqa: ARG001
+        service.request_drain(f"signal {signum}")
+
+    signal.signal(signal.SIGTERM, _drain_signal)
+    signal.signal(signal.SIGINT, _drain_signal)
+    host, port = service.start_server(args.host, args.port)
+    endpoint = service.endpoint_path(args.state_dir)
+    print(f"serving:   {host}:{port} (endpoint file {endpoint})", flush=True)
+    if service.recovered_count:
+        print(f"recovered: {service.recovered_count} journaled job(s) "
+              f"re-admitted", flush=True)
+    try:
+        while not service._draining.is_set():
+            time.sleep(0.2)
+    finally:
+        service.stop_server()
+        summary = service.drain(timeout=args.drain_timeout)
+        print("drained:   " + ", ".join(
+            f"{key}={value}" for key, value in sorted(summary.items())))
+    return 0
+
+
+def _submit_config(args) -> Dict[str, object]:
+    return {"pipeline": args.pipeline, "outline_rounds": args.rounds,
+            "target": args.target, "merge_mode": args.merge,
+            "data_layout": args.data_layout,
+            "verify_image": args.verify_image}
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(host=args.host_opt, port=args.port_opt,
+                           state_dir=args.state_dir,
+                           timeout=args.client_timeout)
+    outcome = client.submit(_load_sources(args.sources),
+                            config=_submit_config(args),
+                            deadline=args.deadline if args.deadline > 0
+                            else None,
+                            wait=not args.no_wait)
+    print(f"job:       {outcome.job_id} [{outcome.status}]"
+          + (" (recovered)" if outcome.recovered else "")
+          + (" (breaker open: serial-uncached)" if outcome.breaker_open
+             else ""))
+    if outcome.image:
+        image = outcome.image
+        print(f"code:      {image.get('text_bytes')} bytes "
+              f"({image.get('num_instrs')} instructions)")
+        print(f"data:      {image.get('data_bytes')} bytes")
+        print(f"binary:    {image.get('binary_bytes')} bytes "
+              f"({image.get('num_functions')} functions)")
+        print(f"text sha:  {image.get('text_sha256')}")
+    if outcome.report is not None:
+        # The same summary (including `degraded:` lines) the one-shot
+        # CLI prints — DegradationEvents travel the wire.
+        for line in outcome.report.summary_lines():
+            print(line)
+    return 0
+
+
+def cmd_status(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(host=args.host_opt, port=args.port_opt,
+                           state_dir=args.state_dir,
+                           timeout=args.client_timeout)
+    status = client.status()
+    for key, value in sorted(status["summary"].items()):
+        print(f"{key}: {value}")
+    gauges = status["metrics"].get("gauges", {})
+    for name in ("service.queue_depth", "service.breaker_open"):
+        if name in gauges:
+            print(f"{name}: {gauges[name]}")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -277,9 +375,90 @@ def main(argv=None) -> int:
                        choices=("tiny", "small", "medium", "large"))
     p_exp.set_defaults(func=cmd_experiments)
 
+    p_serve = sub.add_parser("serve", help="run the build daemon")
+    p_serve.add_argument("--state-dir", required=True,
+                         help="journal + endpoint + default cache location")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="shared build cache (default: state-dir/cache)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 = ephemeral; the bound port is written to "
+                              "state-dir/endpoint.json")
+    p_serve.add_argument("--queue-size", type=int, default=16,
+                         help="bounded admission queue; a full queue "
+                              "rejects with QueueFullError (default 16)")
+    p_serve.add_argument("--job-workers", type=int, default=2,
+                         help="concurrent jobs (default 2)")
+    p_serve.add_argument("--build-workers", type=int, default=2,
+                         help="forked compile workers per job (default 2)")
+    p_serve.add_argument("--deadline", type=float, default=120.0,
+                         help="default per-job deadline seconds "
+                              "(0 disables; default 120)")
+    p_serve.add_argument("--drain-timeout", type=float, default=60.0,
+                         help="seconds to wait for in-flight jobs on drain")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3)
+    p_serve.add_argument("--breaker-window", type=int, default=10)
+    p_serve.add_argument("--breaker-cooldown", type=int, default=5)
+    p_serve.add_argument("--max-cache-bytes", type=int, default=None,
+                         help="LRU-prune the shared cache to this size "
+                              "after every job")
+    p_serve.add_argument("--inject-faults", default=None, metavar="SPEC",
+                         help="seeded service+pipeline fault injection "
+                              "(adds keys: disconnect, jtorn, deadline, "
+                              "sigterm)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    def _add_client_args(p) -> None:
+        p.add_argument("--state-dir", default=None,
+                       help="daemon state dir (reads endpoint.json)")
+        p.add_argument("--host", dest="host_opt", default=None)
+        p.add_argument("--port", dest="port_opt", type=int, default=None)
+        p.add_argument("--client-timeout", type=float, default=300.0,
+                       help="socket timeout waiting for the daemon")
+
+    from repro.pipeline.config import MERGE_MODES, default_merge_mode
+    from repro.target import available_targets, default_target_name
+
+    p_submit = sub.add_parser("submit",
+                              help="submit a build to a running daemon")
+    p_submit.add_argument("sources", nargs="+", help="Swiftlet source files")
+    p_submit.add_argument("--rounds", type=int, default=5)
+    p_submit.add_argument("--pipeline", default="wholeprogram",
+                          choices=("wholeprogram", "default"))
+    p_submit.add_argument("--target", default=default_target_name(),
+                          choices=available_targets())
+    p_submit.add_argument("--merge", default=default_merge_mode(),
+                          choices=MERGE_MODES)
+    p_submit.add_argument("--data-layout", default="module-order",
+                          choices=("module-order", "interleaved"))
+    p_submit.add_argument("--verify-image", dest="verify_image",
+                          action="store_true", default=True)
+    p_submit.add_argument("--no-verify-image", dest="verify_image",
+                          action="store_false")
+    p_submit.add_argument("--deadline", type=float, default=0.0,
+                          help="per-job deadline seconds (0 = daemon "
+                               "default)")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="return after admission; query later")
+    _add_client_args(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser("status", help="query a running daemon")
+    _add_client_args(p_status)
+    p_status.set_defaults(func=cmd_status)
+
     args = parser.parse_args(argv)
+    if args.command != "serve":
+        # One-shot commands: route SIGTERM through the normal exception
+        # path so finally blocks run — worker pools are terminated and
+        # no half-published cache temp files or orphaned forks remain
+        # (`serve` installs its own graceful-drain handlers instead).
+        _install_interrupt_handler()
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        print("error: interrupted (worker pools torn down)", file=sys.stderr)
+        return 130
     except DiagnosticError as exc:
         # Source-level diagnostics already carry file:line:col.
         print(f"error: {exc}", file=sys.stderr)
@@ -291,6 +470,18 @@ def main(argv=None) -> int:
         # Unreadable inputs, bad --inject-faults specs, and the like.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _install_interrupt_handler() -> None:
+    """Make SIGTERM behave like Ctrl-C for cleanup purposes."""
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):
+        pass  # not the main thread, or an exotic platform
 
 
 if __name__ == "__main__":

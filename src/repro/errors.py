@@ -120,3 +120,42 @@ class WorkerCrashError(BuildError):
 
 class CacheCorruptionError(BuildError):
     """A cache entry was unreadable and could not be recovered in place."""
+
+
+class JobCancelledError(BuildError):
+    """A build was cooperatively cancelled (drain, client abort, breaker)."""
+
+
+class DeadlineExpiredError(JobCancelledError):
+    """A job missed its deadline and was cancelled at a checkpoint.
+
+    Subclass of :class:`JobCancelledError`: an expired deadline *is* a
+    cancellation, just one the scheduler (not the client) requested.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for build-service (daemon/client/wire) failures."""
+
+
+class QueueFullError(ServiceError):
+    """The daemon's bounded job queue rejected an admission.
+
+    This is backpressure, not a crash: the client is told immediately
+    (typed, on the wire) instead of being left to hang, and may retry.
+    """
+
+    def __init__(self, message: str, depth: int = -1, limit: int = -1):
+        super().__init__(message)
+        self.depth = depth
+        self.limit = limit
+
+
+class DaemonUnavailableError(ServiceError):
+    """No daemon is reachable at the requested address/state dir."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed or truncated wire frame (e.g. peer disconnected
+    mid-stream); the connection is unusable but the daemon keeps running
+    and any already-admitted job continues to completion."""

@@ -9,6 +9,7 @@ from repro.pipeline.build import (
     run_build,
 )
 from repro.pipeline.cache import PIPELINE_CACHE_VERSION, CacheStats, ModuleCache
+from repro.pipeline.cancel import CancelScope
 from repro.pipeline.config import BuildConfig
 from repro.pipeline.faults import FaultPlan
 from repro.pipeline.report import BuildReport, DegradationEvent
@@ -18,6 +19,7 @@ __all__ = [
     "BuildReport",
     "BuildResult",
     "CacheStats",
+    "CancelScope",
     "DegradationEvent",
     "FaultPlan",
     "ModuleCache",

@@ -41,6 +41,7 @@ from repro.link.verify import verify_image
 from repro.pipeline import cache as cache_mod
 from repro.pipeline import parallel
 from repro.pipeline.cache import ModuleCache
+from repro.pipeline.cancel import checkpoint
 from repro.pipeline.config import BuildConfig
 from repro.pipeline.report import BuildReport
 from repro.runtime.objects import ClassLayout, TypeRegistry
@@ -205,6 +206,7 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
     result = BuildResult(image=None, program=program,  # type: ignore[arg-type]
                          registry=registry, config=config,
                          machine_modules=[], report=report)
+    checkpoint(config.cancel_scope, "backend start")
     if config.pipeline == "wholeprogram":
         with report.phase("llvm-link"):
             merged = link_modules(
@@ -225,6 +227,7 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
         # llc lowers the pre-outlining program; record its work before the
         # outliner shrinks it (the build-time model depends on this).
         result.phase_work["llc"] = merged.num_instrs
+        checkpoint(config.cancel_scope, "llc")
         with report.phase("llc"):
             llc_out = run_llc(merged, LLCOptions(
                 outline_rounds=config.outline_rounds,
@@ -253,6 +256,7 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
                         for key, value in dict(pass_report).items():
                             agg[key] = agg.get(key, 0) + value
                 _note_merge_stats(result, config, report)
+        checkpoint(config.cancel_scope, "llc")
         with report.phase("llc"):
             workers = parallel.resolve_workers(config.workers)
             outputs = parallel.llc_modules(
@@ -263,7 +267,8 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
                 max_retries=config.max_chunk_retries,
                 retry_backoff=config.retry_backoff,
                 fail_fast=config.fail_fast,
-                target=config.target)
+                target=config.target,
+                cancel_scope=config.cancel_scope)
             if outputs is None:  # workers <= 1: the serial path by design
                 outputs = [run_llc(module, LLCOptions(
                     outline_rounds=config.outline_rounds,
@@ -278,6 +283,7 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
             m.num_instrs for m in result.machine_modules)
     else:
         raise ReproError(f"unknown pipeline {config.pipeline!r}")
+    checkpoint(config.cancel_scope, "link")
     with report.phase("link"):
         result.image = link_binary(result.machine_modules, entry_symbol=entry,
                                    outlined_layout=config.outlined_layout,
@@ -402,7 +408,8 @@ def _frontend(items: List[Tuple[str, str]], config: BuildConfig,
                 chunk_timeout=config.chunk_timeout,
                 max_retries=config.max_chunk_retries,
                 retry_backoff=config.retry_backoff,
-                fail_fast=config.fail_fast)
+                fail_fast=config.fail_fast,
+                cancel_scope=config.cancel_scope)
         if lowered is None:
             lowered = {}
             for name in misses:
@@ -469,6 +476,7 @@ def _build_program(items: List[Tuple[str, str]],
     cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
              if config.incremental else None)
 
+    checkpoint(config.cancel_scope, "frontend")
     fe = _frontend(items, config, cache, report)
 
     img_key = None
@@ -539,6 +547,9 @@ def _record_cache_metrics(cache: Optional[ModuleCache],
     metrics.set_gauge("cache.quarantined", stats.quarantined)
     metrics.set_gauge("cache.torn_writes", stats.torn_writes)
     metrics.set_gauge("cache.lock_failures", stats.lock_failures)
+    metrics.set_gauge("cache.evictions", stats.evictions)
+    metrics.set_gauge("cache.evicted_bytes", stats.evicted_bytes)
+    metrics.set_gauge("cache.quarantine_reclaimed", stats.quarantine_reclaimed)
     metrics.set_gauge("cache.image_hit", int(report.image_cache_hit))
 
 

@@ -36,6 +36,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time as _time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, is_dataclass, fields as dc_fields
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -191,6 +192,13 @@ class CacheStats:
     torn_writes: int = 0
     #: Advisory-lock acquisitions that had to wait or were skipped.
     lock_failures: int = 0
+    #: Entries removed by :meth:`ModuleCache.prune` (LRU-by-mtime).
+    evictions: int = 0
+    evicted_bytes: int = 0
+    #: Quarantined entries reclaimed by the quarantine GC.
+    quarantine_reclaimed: int = 0
+    #: Stale ``*.tmp`` files (crashed writers) reaped during prune.
+    tmp_reaped: int = 0
 
 
 class ModuleCache:
@@ -298,6 +306,12 @@ class ModuleCache:
                 self._quarantine(key, path)
             return None
         self.stats.hits += 1
+        try:
+            # Touch on hit so prune()'s LRU-by-mtime tracks recency of
+            # *use*, not recency of store.
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def store(self, key: str, payload: object) -> bool:
@@ -335,6 +349,141 @@ class ModuleCache:
             return False
         self.stats.stores += 1
         return True
+
+    # -- bounded-size maintenance (long-lived daemons) ----------------------
+
+    def _object_entries(self) -> List[Tuple[float, int, str, str]]:
+        """Every published entry as ``(mtime, size, key, path)``."""
+        entries: List[Tuple[float, int, str, str]] = []
+        objects = os.path.join(self.root, "objects")
+        try:
+            shards = os.listdir(objects)
+        except OSError:
+            return entries
+        for shard in shards:
+            shard_dir = os.path.join(objects, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue  # concurrently removed
+                entries.append((st.st_mtime, st.st_size, name[:-4], path))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by published entries."""
+        return sum(size for _, size, _, _ in self._object_entries())
+
+    def _reap_stale_tmp(self, tmp_ttl: float) -> None:
+        """Remove ``*.tmp`` leftovers older than ``tmp_ttl`` seconds.
+
+        Only a writer killed between ``mkstemp`` and the rename leaves
+        one; the age threshold keeps us from deleting a live writer's
+        file out from under it.
+        """
+        now = _time.time()
+        objects = os.path.join(self.root, "objects")
+        try:
+            shards = os.listdir(objects)
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(objects, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    if now - os.stat(path).st_mtime < tmp_ttl:
+                        continue
+                    os.unlink(path)
+                    self.stats.tmp_reaped += 1
+                except OSError:
+                    pass
+
+    def _gc_quarantine(self, max_bytes: int) -> None:
+        """Bound ``quarantine/`` to ``max_bytes`` (oldest files first)."""
+        qdir = os.path.join(self.root, "quarantine")
+        try:
+            names = os.listdir(qdir)
+        except OSError:
+            return
+        files: List[Tuple[float, int, str]] = []
+        for name in names:
+            path = os.path.join(qdir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            files.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in files)
+        for _, size, path in sorted(files):
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+                self.stats.quarantine_reclaimed += 1
+                total -= size
+            except OSError:
+                pass
+
+    def prune(self, max_bytes: int, *, quarantine_max_bytes: int = 0,
+              tmp_ttl: float = 300.0) -> int:
+        """Bound the cache's disk footprint; returns files removed.
+
+        Three sweeps, all safe against concurrent builds sharing the
+        cache dir:
+
+        * published entries are evicted **LRU-by-mtime** (loads touch
+          their entry, so mtime is recency-of-use) until the total is
+          at most ``max_bytes`` — each removal holds the same per-key
+          lock stores and quarantines take, so a prune can never race a
+          store into deleting a freshly published entry's temp file or
+          vice versa;
+        * ``quarantine/`` is bounded to ``quarantine_max_bytes`` (0 —
+          the default — reclaims every quarantined entry: a long-lived
+          daemon cannot keep corpses around for post-mortems forever);
+        * stale ``*.tmp`` files from crashed writers older than
+          ``tmp_ttl`` seconds are reaped.
+
+        Eviction is never an error: a concurrently removed or relocked
+        entry is simply skipped.  Removed entries are misses on the next
+        load, which rebuilds and republishes them.
+        """
+        removed_before = (self.stats.evictions
+                         + self.stats.quarantine_reclaimed
+                         + self.stats.tmp_reaped)
+        self._reap_stale_tmp(tmp_ttl)
+        self._gc_quarantine(quarantine_max_bytes)
+        entries = self._object_entries()
+        total = sum(size for _, size, _, _ in entries)
+        for _, size, key, path in sorted(entries):
+            if total <= max_bytes:
+                break
+            try:
+                with self._locked(key):
+                    os.unlink(path)
+            except FileNotFoundError:
+                total -= size  # someone else evicted it; count it gone
+                continue
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
+            total -= size
+        return (self.stats.evictions + self.stats.quarantine_reclaimed
+                + self.stats.tmp_reaped) - removed_before
 
 
 def _scramble_entry(path: str) -> None:

@@ -94,6 +94,11 @@ class BuildConfig:
     fail_fast: bool = False
     #: Seeded fault-injection schedule (tests/CI only; None = no faults).
     fault_plan: Optional[FaultPlan] = None
+    #: Cooperative cancellation/deadline scope for this build
+    #: (:class:`~repro.pipeline.cancel.CancelScope`); checked at phase
+    #: boundaries and between chunk-retry rounds.  The daemon gives every
+    #: job its own scope; ``None`` (the one-shot CLI) never cancels.
+    cancel_scope: Optional[object] = None
 
     def frontend_fingerprint(self) -> str:
         """Config fields that change per-module LIR (module cache key)."""

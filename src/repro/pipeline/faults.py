@@ -25,11 +25,16 @@ from typing import Dict, Optional
 
 #: Fault kinds a plan can inject, with the rate field controlling each.
 FAULT_KINDS = (
-    "worker_crash",    # worker process dies with os._exit mid-chunk
-    "worker_hang",     # worker sleeps past the per-chunk deadline
-    "pickle_failure",  # worker result cannot be pickled back to the parent
-    "cache_corrupt",   # on-disk cache entry bytes are scrambled before load
-    "torn_write",      # cache store crashes before the atomic rename
+    "worker_crash",      # worker process dies with os._exit mid-chunk
+    "worker_hang",       # worker sleeps past the per-chunk deadline
+    "pickle_failure",    # worker result cannot be pickled back to the parent
+    "cache_corrupt",     # on-disk cache entry bytes are scrambled before load
+    "torn_write",        # cache store crashes before the atomic rename
+    # Service-level sites (evaluated by the build daemon / client):
+    "client_disconnect", # peer socket drops before the response is sent
+    "journal_torn",      # a journal append stops mid-record (no newline)
+    "deadline_expire",   # a job's deadline is forced to zero on admission
+    "sigterm_midphase",  # the daemon begins a graceful drain mid-job
 )
 
 
@@ -53,6 +58,10 @@ class FaultPlan:
     pickle_failure_rate: float = 0.0
     cache_corrupt_rate: float = 0.0
     torn_write_rate: float = 0.0
+    client_disconnect_rate: float = 0.0
+    journal_torn_rate: float = 0.0
+    deadline_expire_rate: float = 0.0
+    sigterm_midphase_rate: float = 0.0
     #: Pretend multiprocessing has no "fork" start method.
     fork_unavailable: bool = False
     #: How long an injected hang sleeps (kept short so tests stay fast,
@@ -65,6 +74,10 @@ class FaultPlan:
         "pickle_failure": "pickle_failure_rate",
         "cache_corrupt": "cache_corrupt_rate",
         "torn_write": "torn_write_rate",
+        "client_disconnect": "client_disconnect_rate",
+        "journal_torn": "journal_torn_rate",
+        "deadline_expire": "deadline_expire_rate",
+        "sigterm_midphase": "sigterm_midphase_rate",
     }
 
     def should_fire(self, kind: str, site: str) -> bool:
@@ -90,6 +103,10 @@ class FaultPlan:
         "pickle": ("pickle_failure_rate", float),
         "corrupt": ("cache_corrupt_rate", float),
         "torn": ("torn_write_rate", float),
+        "disconnect": ("client_disconnect_rate", float),
+        "jtorn": ("journal_torn_rate", float),
+        "deadline": ("deadline_expire_rate", float),
+        "sigterm": ("sigterm_midphase_rate", float),
         "nofork": ("fork_unavailable", lambda v: bool(int(v))),
         "hangsecs": ("hang_seconds", float),
     }

@@ -29,12 +29,15 @@ and fault-injection test harnesses).
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import itertools
 import multiprocessing
 import os
+import signal
 import threading
 import time
+import weakref
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,6 +46,7 @@ from repro.errors import BuildError, WorkerCrashError
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsSnapshot
 from repro.obs.trace import Span, Tracer
+from repro.pipeline.cancel import CancelScope, checkpoint, clamp_timeout
 from repro.pipeline.faults import FaultPlan
 from repro.pipeline.report import BuildReport
 
@@ -64,6 +68,85 @@ def _register(payload: Dict[str, object]) -> int:
 def _unregister(token: int) -> None:
     with _REGISTRY_LOCK:
         _REGISTRY.pop(token, None)
+
+
+#: Every live executor, so an interrupted build (KeyboardInterrupt,
+#: SIGTERM routed through an exception, daemon drain) can never leave
+#: orphaned forked workers behind: `run_chunks` tears its pool down in a
+#: ``finally``, and the atexit sweep catches anything that still escaped
+#: (e.g. an exception thrown from a signal handler at an awkward point).
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _worker_init() -> None:
+    """Runs in every pool worker right after the fork.
+
+    The forking process may have Python-level SIGTERM/SIGINT handlers
+    installed (the CLI's interrupt handler, the build daemon's drain
+    handler) and it always has this module's atexit sweep registered —
+    all inherited by the child.  A worker that keeps them turns
+    ``terminate()`` into "raise KeyboardInterrupt, then run the parent's
+    teardown logic against inherited pool state", which can deadlock on
+    locks that were held at fork time instead of dying.  A build worker
+    must simply die on SIGTERM — that is how teardown kills it.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+    try:
+        # Ctrl-C is the parent's to coordinate; a worker that dies from
+        # it anyway is absorbed by the degradation ladder.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    # The inherited registry entries refer to the parent's pools; the
+    # child's atexit must not try to tear them down.
+    _LIVE_POOLS.clear()
+
+
+def _teardown_pool(pool) -> None:
+    """Shut a pool down *now*: cancel queued work and kill its workers.
+
+    ``ProcessPoolExecutor.shutdown`` alone leaves running (or hung)
+    workers alive; after an interrupt those become orphaned forks holding
+    copy-on-write heaps.  Termination is safe at every call site because
+    chunk work is pure and cache publication is atomic (a killed worker
+    can at worst leave an unpublished temp file, which the cache reaps).
+    """
+    # Grab the worker handles *before* shutdown: even with wait=False,
+    # shutdown() clears the executor's _processes map.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    # Reap, escalating to SIGKILL for anything that survives SIGTERM
+    # (e.g. a worker wedged beyond signal delivery): the bound keeps
+    # teardown prompt, and joining keeps dead workers from lingering as
+    # zombies in ``multiprocessing.active_children()``.
+    for proc in processes:
+        try:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        except Exception:
+            pass
+    _LIVE_POOLS.discard(pool)
+
+
+def _terminate_live_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        _teardown_pool(pool)
+
+
+atexit.register(_terminate_live_pools)
 
 
 def resolve_workers(workers: int) -> int:
@@ -197,7 +280,8 @@ def run_chunks(kind: str, payload: Dict[str, object],
                chunk_timeout: Optional[float] = None,
                max_retries: int = 2,
                retry_backoff: float = 0.05,
-               fail_fast: bool = False) -> List[object]:
+               fail_fast: bool = False,
+               cancel_scope: Optional[CancelScope] = None) -> List[object]:
     """Run every chunk to completion, degrading per-chunk as needed.
 
     Returns results aligned with ``chunks``.  Recoverable failures (worker
@@ -219,7 +303,8 @@ def run_chunks(kind: str, payload: Dict[str, object],
         return _run_chunks_registered(
             kind, payload, chunks, workers, token, plan=plan, report=report,
             phase=phase, chunk_timeout=chunk_timeout, max_retries=max_retries,
-            retry_backoff=retry_backoff, fail_fast=fail_fast)
+            retry_backoff=retry_backoff, fail_fast=fail_fast,
+            cancel_scope=cancel_scope)
     finally:
         _unregister(token)
 
@@ -233,7 +318,8 @@ def _degrade(report: Optional[BuildReport], kind: str, phase: str,
 
 def _run_chunks_registered(kind, payload, chunks, workers, token, *, plan,
                            report, phase, chunk_timeout, max_retries,
-                           retry_backoff, fail_fast=False) -> List[object]:
+                           retry_backoff, fail_fast=False,
+                           cancel_scope=None) -> List[object]:
     results: Dict[int, object] = {}
     pending = list(range(len(chunks)))
 
@@ -247,77 +333,87 @@ def _run_chunks_registered(kind, payload, chunks, workers, token, *, plan,
             _degrade(report, "no-fork", phase,
                      "platform has no fork start method")
 
+    # The pool lives inside a try/finally: *any* exception leaving this
+    # function — a fail-fast typed error, a cancellation checkpoint, a
+    # KeyboardInterrupt delivered to the main thread — tears the pool
+    # down (workers terminated, not just the queue drained), so an
+    # interrupted build cannot leak orphaned forks.
     pool = None
-    if ctx is not None:
-        for attempt in range(max_retries + 1):
-            if not pending:
-                break
-            if pool is None:
-                try:
-                    pool = concurrent.futures.ProcessPoolExecutor(
-                        max_workers=min(workers, len(pending)),
-                        mp_context=ctx)
-                except Exception as exc:
-                    _degrade(report, "pool-unavailable", phase,
-                             f"{type(exc).__name__}: {exc}")
+    try:
+        if ctx is not None:
+            for attempt in range(max_retries + 1):
+                if not pending:
                     break
-            if attempt and retry_backoff:
-                time.sleep(retry_backoff * attempt)
-            futures = {
-                i: pool.submit(_run_task, _Task(kind=kind, token=token,
-                                                chunk=tuple(chunks[i]),
-                                                index=i, attempt=attempt,
-                                                plan=plan))
-                for i in pending}
-            still: List[int] = []
-            pool_dead = False
-            for i, fut in futures.items():
-                try:
-                    results[i] = fut.result(timeout=chunk_timeout)
-                except concurrent.futures.TimeoutError:
-                    if fail_fast:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise WorkerCrashError(
-                            f"{phase or kind} chunk {i}: no result within "
-                            f"{chunk_timeout:g}s", chunk=i, attempt=attempt)
-                    _degrade(report, "chunk-timeout", phase,
-                             f"no result within {chunk_timeout:g}s",
-                             chunk=i, attempt=attempt)
-                    still.append(i)
-                    pool_dead = True  # a hung worker still occupies a slot
-                except BrokenProcessPool as exc:
-                    if fail_fast:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise WorkerCrashError(
-                            f"{phase or kind} chunk {i}: "
-                            f"{exc or 'worker process died'}",
-                            chunk=i, attempt=attempt)
-                    _degrade(report, "worker-crash", phase,
-                             str(exc) or "worker process died",
-                             chunk=i, attempt=attempt)
-                    still.append(i)
-                    pool_dead = True
-                except Exception as exc:
-                    if fail_fast:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise BuildError(
-                            f"{phase or kind} chunk {i} failed: "
-                            f"{type(exc).__name__}: {exc}") from exc
-                    _degrade(report, "chunk-error", phase,
-                             f"{type(exc).__name__}: {exc}",
-                             chunk=i, attempt=attempt)
-                    still.append(i)
-            pending = still
-            if pool_dead:
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = None
+                checkpoint(cancel_scope, f"{phase or kind} retry round")
+                if pool is None:
+                    try:
+                        pool = concurrent.futures.ProcessPoolExecutor(
+                            max_workers=min(workers, len(pending)),
+                            mp_context=ctx, initializer=_worker_init)
+                        _LIVE_POOLS.add(pool)
+                    except Exception as exc:
+                        _degrade(report, "pool-unavailable", phase,
+                                 f"{type(exc).__name__}: {exc}")
+                        break
+                if attempt and retry_backoff:
+                    time.sleep(retry_backoff * attempt)
+                futures = {
+                    i: pool.submit(_run_task, _Task(kind=kind, token=token,
+                                                    chunk=tuple(chunks[i]),
+                                                    index=i, attempt=attempt,
+                                                    plan=plan))
+                    for i in pending}
+                still: List[int] = []
+                pool_dead = False
+                wait_timeout = clamp_timeout(cancel_scope, chunk_timeout)
+                for i, fut in futures.items():
+                    try:
+                        results[i] = fut.result(timeout=wait_timeout)
+                    except concurrent.futures.TimeoutError:
+                        if fail_fast:
+                            raise WorkerCrashError(
+                                f"{phase or kind} chunk {i}: no result "
+                                f"within {wait_timeout:g}s",
+                                chunk=i, attempt=attempt)
+                        _degrade(report, "chunk-timeout", phase,
+                                 f"no result within {wait_timeout:g}s",
+                                 chunk=i, attempt=attempt)
+                        still.append(i)
+                        pool_dead = True  # a hung worker occupies a slot
+                    except BrokenProcessPool as exc:
+                        if fail_fast:
+                            raise WorkerCrashError(
+                                f"{phase or kind} chunk {i}: "
+                                f"{exc or 'worker process died'}",
+                                chunk=i, attempt=attempt)
+                        _degrade(report, "worker-crash", phase,
+                                 str(exc) or "worker process died",
+                                 chunk=i, attempt=attempt)
+                        still.append(i)
+                        pool_dead = True
+                    except Exception as exc:
+                        if fail_fast:
+                            raise BuildError(
+                                f"{phase or kind} chunk {i} failed: "
+                                f"{type(exc).__name__}: {exc}") from exc
+                        _degrade(report, "chunk-error", phase,
+                                 f"{type(exc).__name__}: {exc}",
+                                 chunk=i, attempt=attempt)
+                        still.append(i)
+                pending = still
+                if pool_dead:
+                    _teardown_pool(pool)
+                    pool = None
+    finally:
         if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            _teardown_pool(pool)
+            pool = None
 
     # Last rung: recompile the survivors serially in this process.  The
     # chunk functions are pure, so the result is bit-identical to what a
     # healthy worker would have produced.
     for i in pending:
+        checkpoint(cancel_scope, f"{phase or kind} serial re-run")
         _degrade(report, "chunk-serial-rerun", phase,
                  "recompiled in parent after pool attempts exhausted",
                  chunk=i)
@@ -356,7 +452,9 @@ def lower_modules(sil_by_name: Dict[str, object],
                   chunk_timeout: Optional[float] = None,
                   max_retries: int = 2,
                   retry_backoff: float = 0.05,
-                  fail_fast: bool = False) -> Optional[Dict[str, object]]:
+                  fail_fast: bool = False,
+                  cancel_scope: Optional[CancelScope] = None,
+                  ) -> Optional[Dict[str, object]]:
     """Lower ``names`` to optimized LIR across ``workers`` processes.
 
     Returns name -> LIRModule, or None when the request is inherently
@@ -372,7 +470,8 @@ def lower_modules(sil_by_name: Dict[str, object],
                          chunk_timeout=chunk_timeout,
                          max_retries=max_retries,
                          retry_backoff=retry_backoff,
-                         fail_fast=fail_fast)
+                         fail_fast=fail_fast,
+                         cancel_scope=cancel_scope)
     lowered: Dict[str, object] = {}
     for chunk_result in results:
         for name, module in chunk_result:
@@ -391,7 +490,9 @@ def llc_modules(lir_modules: Sequence[object], outline_rounds: int,
                 max_retries: int = 2,
                 retry_backoff: float = 0.05,
                 fail_fast: bool = False,
-                target: Optional[str] = None) -> Optional[List[object]]:
+                target: Optional[str] = None,
+                cancel_scope: Optional[CancelScope] = None,
+                ) -> Optional[List[object]]:
     """Run per-module llc in parallel; returns outputs in module order."""
     if workers <= 1 or len(lir_modules) <= 1:
         return None
@@ -405,7 +506,8 @@ def llc_modules(lir_modules: Sequence[object], outline_rounds: int,
                          chunk_timeout=chunk_timeout,
                          max_retries=max_retries,
                          retry_backoff=retry_backoff,
-                         fail_fast=fail_fast)
+                         fail_fast=fail_fast,
+                         cancel_scope=cancel_scope)
     ordered: List[object] = [None] * len(lir_modules)
     for chunk_result in results:
         for i, llc_out in chunk_result:

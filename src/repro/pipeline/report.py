@@ -46,6 +46,19 @@ class DegradationEvent:
         detail = f": {self.detail}" if self.detail else ""
         return f"{self.kind}{where}{attempt}{detail}"
 
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "phase": self.phase,
+                "detail": self.detail, "chunk": self.chunk,
+                "attempt": self.attempt}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DegradationEvent":
+        return cls(kind=str(data.get("kind", "")),
+                   phase=str(data.get("phase", "")),
+                   detail=str(data.get("detail", "")),
+                   chunk=int(data.get("chunk", -1)),
+                   attempt=int(data.get("attempt", 0)))
+
 
 @dataclass
 class BuildReport:
@@ -131,6 +144,52 @@ class BuildReport:
         obs_trace.metrics().inc("build.degradations")
         obs_trace.metrics().inc(f"build.degradations.{kind}")
         return event
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe dump, complete enough for the daemon to ship a job's
+        report over the wire and the client to re-render
+        :meth:`summary_lines` verbatim (same ``degraded:`` lines the
+        one-shot CLI prints)."""
+        return {
+            "num_modules": self.num_modules,
+            "target": self.target,
+            "merge_mode": self.merge_mode,
+            "merge_stats": dict(self.merge_stats),
+            "workers": self.workers,
+            "cache_enabled": self.cache_enabled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+            "image_cache_hit": self.image_cache_hit,
+            "phase_wall": dict(self.phase_wall),
+            "notes": list(self.notes),
+            "degradations": [d.as_dict() for d in self.degradations],
+            "image_verified": self.image_verified,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BuildReport":
+        """Rebuild a report from :meth:`as_dict` output (wire payloads
+        from older/newer daemons may omit fields; defaults fill in)."""
+        report = cls(
+            num_modules=int(data.get("num_modules", 0)),
+            target=str(data.get("target", "")),
+            merge_mode=str(data.get("merge_mode", "off")),
+            merge_stats=dict(data.get("merge_stats") or {}),
+            workers=int(data.get("workers", 1)),
+            cache_enabled=bool(data.get("cache_enabled", False)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            cache_stores=int(data.get("cache_stores", 0)),
+            image_cache_hit=bool(data.get("image_cache_hit", False)),
+            phase_wall={str(k): float(v) for k, v in
+                        (data.get("phase_wall") or {}).items()},
+            notes=[str(n) for n in (data.get("notes") or [])],
+            image_verified=bool(data.get("image_verified", False)),
+        )
+        report.degradations = [DegradationEvent.from_dict(d)
+                               for d in (data.get("degradations") or [])]
+        return report
 
     def summary_lines(self) -> List[str]:
         """Human-readable report (CLI `build` output)."""

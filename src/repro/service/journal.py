@@ -1,0 +1,216 @@
+"""Append-only crash-recovery job journal (JSONL + atomic checkpoints).
+
+Write-ahead discipline: a job is journaled **before** it is admitted to
+the queue, marked ``start`` when an executor picks it up, and ``done``
+(with the image digests or the typed error) when it finishes.  Appends
+are flushed and fsynced, so after a ``kill -9`` the journal tells the
+restarted daemon exactly which jobs were in flight; because builds are
+deterministic and cache publication is atomic, *re-running* a journaled
+job is indistinguishable from having finished it — bit-identical image or
+the same typed error, never a torn cache entry.
+
+A process killed mid-append leaves at most one torn tail line; replay
+detects it (bad JSON or missing terminator), counts it, and drops **only
+that record** — everything before it is intact because records never span
+lines.  The ``journal_torn`` fault site simulates exactly this: the
+injected append writes half the record and no newline, and the *next*
+append starts with a newline so the corruption stays confined to the one
+record a real crash would have lost.
+
+``checkpoint()`` compacts the journal (drops records superseded by a
+``done``) by writing a temp file and atomically renaming it over the
+journal — the same publish-by-rename pattern the cache uses, so a crash
+mid-checkpoint leaves the previous journal intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.pipeline.faults import FaultPlan
+
+
+@dataclass
+class ReplayState:
+    """What the journal says about one job after a full replay."""
+
+    job_id: str
+    #: "pending" (submitted/started, never finished) or "done".
+    status: str = "pending"
+    sources: Dict[str, str] = field(default_factory=dict)
+    config: Dict[str, object] = field(default_factory=dict)
+    deadline: Optional[float] = None
+    #: Times the job was picked up by an executor (>1 ⇒ recovered runs).
+    attempts: int = 0
+    #: The terminal record's payload ("result" / "error" / "report").
+    outcome: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ReplayResult:
+    jobs: Dict[str, ReplayState] = field(default_factory=dict)
+    #: Submission order of every job seen (replay re-runs in this order).
+    order: List[str] = field(default_factory=list)
+    torn_records: int = 0
+
+    @property
+    def pending(self) -> List[ReplayState]:
+        return [self.jobs[j] for j in self.order
+                if self.jobs[j].status == "pending"]
+
+
+class JobJournal:
+    """One JSONL journal file under the daemon's state dir."""
+
+    def __init__(self, path: str, fault_plan: Optional[FaultPlan] = None):
+        self.path = path
+        self.fault_plan = fault_plan
+        self._fh = None
+        #: Set when an injected torn append left the tail unterminated;
+        #: the next append re-synchronises with a leading newline.
+        self._tail_torn = False
+
+    # -- appending -----------------------------------------------------------
+
+    def _open(self):
+        if self._fh is None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def append(self, record: Dict[str, object]) -> bool:
+        """Durably append one record; False if an injected tear ate it.
+
+        Keys stay in insertion order — the ``sources`` map's order is
+        semantic (module order fixes type-id bases and data layout), and
+        a replayed job must rebuild the *same* program.
+        """
+        data = json.dumps(record, separators=(",", ":"))
+        blob = data.encode("utf-8") + b"\n"
+        fh = self._open()
+        if self._tail_torn:
+            fh.write(b"\n")
+            self._tail_torn = False
+        torn = (self.fault_plan is not None
+                and self.fault_plan.should_fire(
+                    "journal_torn",
+                    f"append:{record.get('rec')}:{record.get('id')}"))
+        if torn:
+            fh.write(blob[:max(1, len(blob) // 2)].rstrip(b"\n"))
+            self._tail_torn = True
+        else:
+            fh.write(blob)
+        fh.flush()
+        try:
+            os.fsync(fh.fileno())
+        except OSError:
+            pass
+        return not torn
+
+    def submitted(self, job_id: str, sources: Dict[str, str],
+                  config: Dict[str, object],
+                  deadline: Optional[float]) -> None:
+        self.append({"rec": "submit", "id": job_id, "sources": sources,
+                     "config": config, "deadline": deadline})
+
+    def started(self, job_id: str, attempt: int) -> None:
+        self.append({"rec": "start", "id": job_id, "attempt": attempt})
+
+    def done(self, job_id: str, status: str,
+             payload: Dict[str, object]) -> None:
+        record = {"rec": "done", "id": job_id, "status": status}
+        record.update(payload)
+        self.append(record)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self) -> ReplayResult:
+        """Reconstruct job states from disk (tolerates a torn tail)."""
+        result = ReplayResult()
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return result
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                result.torn_records += 1
+                continue
+            if not isinstance(record, dict):
+                result.torn_records += 1
+                continue
+            job_id = str(record.get("id", ""))
+            kind = record.get("rec")
+            if kind == "submit":
+                state = ReplayState(
+                    job_id=job_id,
+                    sources={str(k): str(v) for k, v in
+                             (record.get("sources") or {}).items()},
+                    config=dict(record.get("config") or {}),
+                    deadline=record.get("deadline"))
+                if job_id not in result.jobs:
+                    result.order.append(job_id)
+                result.jobs[job_id] = state
+            elif kind == "start" and job_id in result.jobs:
+                result.jobs[job_id].attempts += 1
+            elif kind == "done" and job_id in result.jobs:
+                state = result.jobs[job_id]
+                state.status = "done"
+                state.outcome = {k: v for k, v in record.items()
+                                 if k not in ("rec", "id")}
+        return result
+
+    # -- compaction ----------------------------------------------------------
+
+    def checkpoint(self, keep_done: int = 256) -> ReplayResult:
+        """Atomically rewrite the journal in compacted form.
+
+        Pending jobs keep their full submit record (they must survive a
+        restart); finished jobs are folded to a single ``submit`` +
+        ``done`` pair, and only the newest ``keep_done`` of those are
+        retained so the journal cannot grow without bound under a
+        long-lived daemon.
+        """
+        replay = self.replay()
+        done_ids = [j for j in replay.order
+                    if replay.jobs[j].status == "done"]
+        kept_done = set(done_ids[-keep_done:] if keep_done else [])
+        tmp = self.path + ".ckpt.tmp"
+        with open(tmp, "wb") as fh:
+            for job_id in replay.order:
+                state = replay.jobs[job_id]
+                if state.status == "done" and job_id not in kept_done:
+                    continue
+                submit = {"rec": "submit", "id": job_id,
+                          "sources": state.sources, "config": state.config,
+                          "deadline": state.deadline}
+                fh.write(json.dumps(submit, separators=(",", ":"))
+                         .encode("utf-8") + b"\n")
+                if state.status == "done":
+                    record = {"rec": "done", "id": job_id}
+                    record.update(state.outcome)
+                    fh.write(json.dumps(record, separators=(",", ":"))
+                             .encode("utf-8") + b"\n")
+            fh.flush()
+            try:
+                os.fsync(fh.fileno())
+            except OSError:
+                pass
+        self.close()
+        os.replace(tmp, self.path)
+        self._tail_torn = False
+        return replay

@@ -317,3 +317,255 @@ class TestConcurrentBuilds:
         warm = build_program(dict(_sources()), BuildConfig(
             outline_rounds=1, incremental=True, cache_dir=str(tmp_path)))
         assert warm.report.image_cache_hit
+
+
+# --- bounded-cache maintenance (prune / eviction / GC) -----------------------
+
+
+def _entry(cache, key, payload=None, mtime=None):
+    """Store one entry and optionally pin its mtime (LRU position)."""
+    cache.store(key, payload if payload is not None else {"k": key})
+    if mtime is not None:
+        os.utime(cache._path(key), (mtime, mtime))
+    return os.path.getsize(cache._path(key))
+
+
+class TestPrune:
+    def test_lru_evicts_oldest_first(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        now = time.time()
+        sizes = {}
+        for i, key in enumerate(["aa" * 32, "bb" * 32, "cc" * 32,
+                                 "dd" * 32]):
+            sizes[key] = _entry(cache, key, mtime=now - 1000 + i)
+        budget = sizes["cc" * 32] + sizes["dd" * 32]
+        removed = cache.prune(budget)
+        assert removed == 2
+        assert cache.stats.evictions == 2
+        assert cache.stats.evicted_bytes == sizes["aa" * 32] + sizes["bb" * 32]
+        assert cache.load("aa" * 32) is None
+        assert cache.load("bb" * 32) is None
+        assert cache.load("cc" * 32) == {"k": "cc" * 32}
+        assert cache.load("dd" * 32) == {"k": "dd" * 32}
+        assert cache.total_bytes() <= budget
+
+    def test_load_refreshes_recency(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        now = time.time()
+        size_a = _entry(cache, "aa" * 32, mtime=now - 1000)
+        _entry(cache, "bb" * 32, mtime=now - 500)
+        # Using "aa" makes it the most recently used entry again.
+        assert cache.load("aa" * 32) is not None
+        cache.prune(size_a)
+        assert cache.load("aa" * 32) is not None
+        assert cache.load("bb" * 32) is None
+
+    def test_under_budget_is_a_noop(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        _entry(cache, "aa" * 32)
+        assert cache.prune(1 << 30) == 0
+        assert cache.stats.evictions == 0
+        assert cache.load("aa" * 32) is not None
+
+    def test_quarantine_is_reclaimed(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        key = "ee" * 32
+        cache.store(key, {"ok": True})
+        with open(cache._path(key), "wb") as fh:
+            fh.write(b"corrupt bytes")
+        assert cache.load(key) is None           # quarantines the entry
+        assert os.path.exists(cache._quarantine_path(key))
+        removed = cache.prune(1 << 30)           # quarantine budget 0
+        assert removed == 1
+        assert cache.stats.quarantine_reclaimed == 1
+        assert not os.path.exists(cache._quarantine_path(key))
+
+    def test_quarantine_budget_keeps_newest(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        qdir = tmp_path / "quarantine"
+        qdir.mkdir()
+        now = time.time()
+        for i, name in enumerate(["old.pkl", "mid.pkl", "new.pkl"]):
+            path = qdir / name
+            path.write_bytes(b"x" * 100)
+            os.utime(path, (now - 300 + i * 100, now - 300 + i * 100))
+        cache.prune(1 << 30, quarantine_max_bytes=150)
+        assert cache.stats.quarantine_reclaimed == 2
+        assert sorted(p.name for p in qdir.iterdir()) == ["new.pkl"]
+
+    def test_stale_tmp_reaped_live_writer_spared(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        _entry(cache, "aa" * 32)
+        shard = tmp_path / "objects" / "aa"
+        stale = shard / "crashed-writer.tmp"
+        stale.write_bytes(b"half a pickle")     # kill -9 mid-store leftover
+        os.utime(stale, (time.time() - 3600,) * 2)
+        fresh = shard / "live-writer.tmp"
+        fresh.write_bytes(b"still being written")
+        cache.prune(1 << 30, tmp_ttl=60.0)
+        assert cache.stats.tmp_reaped == 1
+        assert not stale.exists()
+        assert fresh.exists()                   # not deleted out from under
+        assert cache.load("aa" * 32) is not None
+
+    def test_torn_write_during_prune_window(self, tmp_path):
+        """A store that tears while a prune sweeps the same shard: the
+        prune must neither publish nor trip over the torn temp file, and
+        the entry stays recoverable by a later healthy store."""
+        plan = FaultPlan(seed=5, torn_write_rate=1.0)
+        torn_cache = ModuleCache(str(tmp_path), fault_plan=plan)
+        key = "ab" * 32
+        assert not torn_cache.store(key, {"v": 1})
+        healthy = ModuleCache(str(tmp_path))
+        _entry(healthy, "cd" * 32, mtime=time.time() - 100)
+        assert healthy.prune(1 << 30, tmp_ttl=0.0) == 0  # nothing stale left
+        assert healthy.load(key) is None        # torn store never published
+        assert healthy.store(key, {"v": 2})
+        assert healthy.load(key) == {"v": 2}
+
+    def test_quarantine_of_concurrently_evicted_entry(self, tmp_path):
+        """Quarantining an entry another process already evicted must be
+        a silent no-op, not an error (the corruption is gone either way)."""
+        cache = ModuleCache(str(tmp_path))
+        key = "ef" * 32
+        cache.store(key, {"ok": True})
+        path = cache._path(key)
+        os.unlink(path)                         # concurrent prune got here
+        cache._quarantine(key, path)            # load()'s recovery path
+        assert cache.stats.quarantined == 0
+        assert not os.path.exists(cache._quarantine_path(key))
+
+    def test_eviction_races_concurrent_removal(self, tmp_path):
+        """prune() must treat an entry deleted between listing and unlink
+        as already evicted (count the bytes gone, no crash)."""
+        cache = ModuleCache(str(tmp_path))
+        now = time.time()
+        _entry(cache, "aa" * 32, mtime=now - 1000)
+        size_b = _entry(cache, "bb" * 32, mtime=now - 500)
+        entries = cache._object_entries()
+        assert len(entries) == 2
+        os.unlink(cache._path("aa" * 32))       # the other process evicts
+        removed = cache.prune(size_b)
+        # Only bb's budget remains; aa was already gone and is not counted.
+        assert cache.stats.evictions == removed
+        assert cache.total_bytes() <= size_b
+
+
+def _prune_into_queue(cache_dir, budget, queue):
+    cache = ModuleCache(cache_dir)
+    try:
+        cache.prune(budget)
+        queue.put(("ok", cache.stats.evictions))
+    except Exception as exc:  # pragma: no cover - the failure under test
+        queue.put(("error", repr(exc)))
+
+
+class TestPruneContention:
+    def test_two_processes_pruning_one_cache_dir(self, tmp_path):
+        cache = ModuleCache(str(tmp_path))
+        now = time.time()
+        per_entry = None
+        for i in range(12):
+            key = f"{i:02x}" * 32
+            per_entry = _entry(cache, key, mtime=now - 1200 + i * 10)
+        budget = per_entry * 4
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [ctx.Process(target=_prune_into_queue,
+                             args=(str(tmp_path), budget, queue))
+                 for _ in range(2)]
+        for p in procs:
+            p.start()
+        results = [queue.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+        assert [p.exitcode for p in procs] == [0, 0]
+        assert all(status == "ok" for status, _ in results)
+        fresh = ModuleCache(str(tmp_path))
+        assert fresh.total_bytes() <= budget
+        # Survivors are intact, loadable entries (no torn evictions).
+        for _, _, key, _ in fresh._object_entries():
+            assert fresh.load(key) is not None
+
+    def test_prune_vs_store_contention(self, tmp_path):
+        """A prune sweeping while another thread stores fresh entries:
+        every published survivor must load cleanly."""
+        cache = ModuleCache(str(tmp_path))
+        now = time.time()
+        for i in range(8):
+            _entry(cache, f"{i:02x}" * 32, mtime=now - 800 + i * 10)
+        budget = cache.total_bytes() // 2
+        writer_keys = [f"f{i:x}" * 32 for i in range(8)]
+        errors = []
+
+        def _writer():
+            try:
+                other = ModuleCache(str(tmp_path))
+                for key in writer_keys:
+                    other.store(key, {"k": key})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        t = threading.Thread(target=_writer)
+        t.start()
+        cache.prune(budget)
+        t.join(timeout=30)
+        assert errors == []
+        fresh = ModuleCache(str(tmp_path))
+        for _, _, key, _ in fresh._object_entries():
+            assert fresh.load(key) is not None
+
+
+class TestPruneProperty:
+    """Random interleavings of store / load / corrupt / prune keep the
+    cache's invariants: prune never errors, the footprint lands under
+    budget, and every surviving entry loads back exactly."""
+
+    from hypothesis import given, settings, strategies as st
+
+    _ops = st.lists(
+        st.one_of(
+            st.tuples(st.just("store"), st.integers(0, 9)),
+            st.tuples(st.just("load"), st.integers(0, 9)),
+            st.tuples(st.just("corrupt"), st.integers(0, 9)),
+            st.tuples(st.just("prune"), st.integers(0, 4))),
+        min_size=1, max_size=30)
+
+    @given(ops=_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_random_op_interleavings(self, ops, tmp_path_factory):
+        root = str(tmp_path_factory.mktemp("prune-prop"))
+        cache = ModuleCache(root)
+        expected = {}
+        clock = [time.time() - 10_000]
+
+        def _key(i):
+            return f"{i:02x}" * 32
+
+        for op, arg in ops:
+            if op == "store":
+                key = _key(arg)
+                if cache.store(key, {"payload": arg}):
+                    expected[key] = {"payload": arg}
+                    clock[0] += 60
+                    os.utime(cache._path(key), (clock[0], clock[0]))
+            elif op == "load":
+                key = _key(arg)
+                value = cache.load(key)
+                if key in expected and value is not None:
+                    assert value == expected[key]
+            elif op == "corrupt":
+                key = _key(arg)
+                if os.path.exists(cache._path(key)):
+                    with open(cache._path(key), "wb") as fh:
+                        fh.write(b"not a pickle")
+                    expected.pop(key, None)
+            elif op == "prune":
+                budget = arg * 200
+                cache.prune(budget, tmp_ttl=0.0)
+                assert cache.total_bytes() <= budget or budget == 0
+        # Whatever survived must round-trip bit-exactly.
+        for _, _, key, _ in cache._object_entries():
+            value = cache.load(key)
+            if key in expected:
+                assert value == expected[key] or value is None

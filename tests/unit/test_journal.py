@@ -1,0 +1,179 @@
+"""Unit tests for the crash-recovery job journal (service/journal.py):
+append/replay round trips, torn-tail tolerance, the journal_torn fault
+site, checkpoint compaction, and checkpoint atomicity."""
+
+import json
+import os
+
+from repro.pipeline.faults import FaultPlan
+from repro.service.journal import JobJournal
+
+SOURCES = {"main.swiftlet": "func main() { print(1) }\n"}
+CONFIG = {"pipeline": "wholeprogram", "outline_rounds": 2}
+
+
+def _journal(tmp_path, **kw):
+    return JobJournal(str(tmp_path / "journal.jsonl"), **kw)
+
+
+class TestAppendReplay:
+    def test_empty_journal_replays_empty(self, tmp_path):
+        replay = _journal(tmp_path).replay()
+        assert replay.jobs == {}
+        assert replay.order == []
+        assert replay.torn_records == 0
+
+    def test_submit_start_done_lifecycle(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, 30.0)
+        journal.started("j1", 1)
+        journal.done("j1", "ok", {"image": {"text_sha256": "aa"}})
+        journal.close()
+
+        replay = _journal(tmp_path).replay()
+        state = replay.jobs["j1"]
+        assert state.status == "done"
+        assert state.sources == SOURCES
+        assert state.config == CONFIG
+        assert state.deadline == 30.0
+        assert state.attempts == 1
+        assert state.outcome["status"] == "ok"
+        assert state.outcome["image"] == {"text_sha256": "aa"}
+        assert replay.pending == []
+
+    def test_unfinished_job_is_pending(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, None)
+        journal.started("j1", 1)
+        journal.submitted("j2", SOURCES, CONFIG, 5.0)
+        journal.close()
+
+        replay = _journal(tmp_path).replay()
+        assert [s.job_id for s in replay.pending] == ["j1", "j2"]
+        assert replay.jobs["j1"].attempts == 1
+        assert replay.jobs["j2"].attempts == 0
+
+    def test_module_order_survives_replay_and_checkpoint(self, tmp_path):
+        """Module order is semantic: a recovered job must rebuild the
+        same program, so the sources map replays in insertion order."""
+        ordered = {"Zeta": "z", "Alpha": "a", "Mid": "m"}
+        journal = _journal(tmp_path)
+        journal.submitted("j1", ordered, CONFIG, None)
+        journal.close()
+        replay = _journal(tmp_path).replay()
+        assert list(replay.jobs["j1"].sources) == ["Zeta", "Alpha", "Mid"]
+        compacting = _journal(tmp_path)
+        compacting.checkpoint()
+        replay = compacting.replay()
+        assert list(replay.jobs["j1"].sources) == ["Zeta", "Alpha", "Mid"]
+
+    def test_replay_preserves_submission_order(self, tmp_path):
+        journal = _journal(tmp_path)
+        ids = [f"job-{i}" for i in range(7)]
+        for job_id in ids:
+            journal.submitted(job_id, SOURCES, CONFIG, None)
+        journal.close()
+        assert _journal(tmp_path).replay().order == ids
+
+
+class TestTornTail:
+    def test_torn_tail_loses_only_the_last_record(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, None)
+        journal.submitted("j2", SOURCES, CONFIG, None)
+        journal.close()
+        # Simulate kill -9 mid-append: truncate the last line in half.
+        path = journal.path
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        lines = raw.rstrip(b"\n").split(b"\n")
+        torn = b"\n".join(lines[:-1]) + b"\n" + lines[-1][:len(lines[-1]) // 2]
+        with open(path, "wb") as fh:
+            fh.write(torn)
+
+        replay = _journal(tmp_path).replay()
+        assert replay.torn_records == 1
+        assert list(replay.jobs) == ["j1"]
+
+    def test_injected_torn_append_stays_confined(self, tmp_path):
+        plan = FaultPlan(journal_torn_rate=1.0)
+        journal = _journal(tmp_path, fault_plan=plan)
+        # First append tears (rate 1.0) ...
+        assert not journal.append({"rec": "submit", "id": "lost"})
+        # ... but the live journal re-synchronises with a newline, so the
+        # next record survives intact on its own line.
+        journal.fault_plan = None
+        assert journal.append({"rec": "submit", "id": "kept", "sources": {},
+                               "config": {}, "deadline": None})
+        journal.close()
+
+        replay = journal.replay()
+        assert replay.torn_records == 1
+        assert list(replay.jobs) == ["kept"]
+
+    def test_non_dict_record_counts_as_torn(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, None)
+        journal.close()
+        with open(journal.path, "ab") as fh:
+            fh.write(b"[1,2,3]\n")
+        replay = _journal(tmp_path).replay()
+        assert replay.torn_records == 1
+        assert list(replay.jobs) == ["j1"]
+
+
+class TestCheckpoint:
+    def test_checkpoint_folds_done_jobs(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, None)
+        journal.started("j1", 1)
+        journal.started("j1", 2)
+        journal.done("j1", "ok", {"attempts": 2})
+        journal.submitted("j2", SOURCES, CONFIG, None)
+        journal.checkpoint()
+
+        with open(journal.path, "rb") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        # j1 folded to submit+done; j2 keeps its pending submit record.
+        kinds = [(r["rec"], r["id"]) for r in records]
+        assert kinds == [("submit", "j1"), ("done", "j1"), ("submit", "j2")]
+
+        replay = journal.replay()
+        assert replay.jobs["j1"].status == "done"
+        assert [s.job_id for s in replay.pending] == ["j2"]
+
+    def test_checkpoint_bounds_done_history(self, tmp_path):
+        journal = _journal(tmp_path)
+        for i in range(10):
+            journal.submitted(f"j{i}", SOURCES, CONFIG, None)
+            journal.done(f"j{i}", "ok", {})
+        journal.checkpoint(keep_done=3)
+        replay = journal.replay()
+        assert sorted(replay.jobs) == ["j7", "j8", "j9"]
+
+    def test_checkpoint_heals_torn_tail(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, None)
+        journal.close()
+        with open(journal.path, "ab") as fh:
+            fh.write(b'{"rec": "submit", "id": "half')  # torn, no newline
+        journal = _journal(tmp_path)
+        journal.checkpoint()
+        replay = journal.replay()
+        assert replay.torn_records == 0
+        assert list(replay.jobs) == ["j1"]
+
+    def test_checkpoint_leaves_no_temp_file(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, None)
+        journal.checkpoint()
+        assert not os.path.exists(journal.path + ".ckpt.tmp")
+
+    def test_append_after_checkpoint_continues_the_log(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, None)
+        journal.checkpoint()
+        journal.submitted("j2", SOURCES, CONFIG, None)
+        journal.close()
+        replay = _journal(tmp_path).replay()
+        assert sorted(replay.jobs) == ["j1", "j2"]

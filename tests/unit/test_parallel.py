@@ -175,3 +175,100 @@ class TestSharedStateIsolation:
         assert results[0] == EXPECTED
         assert results[1000] == [[v + 1000 for v in chunk]
                                  for chunk in EXPECTED]
+
+
+class TestPoolTeardown:
+    """An interrupted or cancelled build must never leak forked workers:
+    run_chunks tears its pool down on every exit path, and the atexit
+    sweep catches pools that escape."""
+
+    def test_success_leaves_no_live_pools(self, tmp_path):
+        report = BuildReport()
+        assert _run(CHUNKS, report=report) == EXPECTED
+        assert len(parallel._LIVE_POOLS) == 0
+
+    def test_failfast_error_leaves_no_live_pools(self):
+        plan = FaultPlan(seed=3, worker_crash_rate=1.0)
+        with pytest.raises(WorkerCrashError):
+            _run(CHUNKS, plan=plan, fail_fast=True)
+        assert len(parallel._LIVE_POOLS) == 0
+        for proc in parallel.multiprocessing.active_children():
+            proc.join(timeout=10)
+        assert parallel.multiprocessing.active_children() == []
+
+    def test_cancelled_scope_raises_before_any_fork(self):
+        from repro.errors import JobCancelledError
+        from repro.pipeline.cancel import CancelScope
+
+        scope = CancelScope(label="jx")
+        scope.cancel("daemon drain")
+        with pytest.raises(JobCancelledError, match="daemon drain"):
+            _run(CHUNKS, cancel_scope=scope)
+        assert len(parallel._LIVE_POOLS) == 0
+
+    def test_expired_deadline_is_typed_and_kills_workers(self):
+        from repro.errors import DeadlineExpiredError
+        from repro.pipeline.cancel import CancelScope
+
+        scope = CancelScope(deadline_seconds=0.0, label="jy")
+        with pytest.raises(DeadlineExpiredError):
+            _run(CHUNKS, cancel_scope=scope)
+        assert len(parallel._LIVE_POOLS) == 0
+        for proc in parallel.multiprocessing.active_children():
+            proc.join(timeout=10)
+        assert parallel.multiprocessing.active_children() == []
+
+    def test_teardown_pool_terminates_running_workers(self):
+        import concurrent.futures
+        import time as _time
+
+        ctx = parallel.multiprocessing.get_context("fork")
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=2,
+                                                      mp_context=ctx)
+        pool.submit(_time.sleep, 60)  # occupy a worker for a long time
+        deadline = _time.time() + 10
+        while not getattr(pool, "_processes", None) and _time.time() < deadline:
+            _time.sleep(0.01)
+        workers = list(pool._processes.values())
+        assert workers
+        parallel._LIVE_POOLS.add(pool)
+        parallel._terminate_live_pools()  # the atexit sweep
+        assert len(parallel._LIVE_POOLS) == 0
+        for proc in workers:
+            proc.join(timeout=10)
+            # Terminated, not still sleeping out its 60s task.
+            assert proc.exitcode is not None
+
+    def test_workers_die_despite_inherited_sigterm_handler(self):
+        """The CLI and the daemon install Python-level SIGTERM handlers,
+        and fork workers inherit them (plus this module's atexit sweep).
+        Without the worker initializer resetting the disposition,
+        terminate() used to leave such workers wedged in the inherited
+        handler/atexit machinery instead of dead — leaking a fork per
+        pool for the life of the parent."""
+        import concurrent.futures
+        import signal
+        import time as _time
+
+        def _on_sigterm(signum, frame):  # what the CLI installs
+            raise KeyboardInterrupt
+
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+        try:
+            ctx = parallel.multiprocessing.get_context("fork")
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=2, mp_context=ctx,
+                initializer=parallel._worker_init)
+            pool.submit(_time.sleep, 60)
+            deadline = _time.time() + 10
+            while (not getattr(pool, "_processes", None)
+                   and _time.time() < deadline):
+                _time.sleep(0.01)
+            workers = list(pool._processes.values())
+            assert workers
+            parallel._teardown_pool(pool)
+            for proc in workers:
+                proc.join(timeout=10)
+                assert proc.exitcode is not None
+        finally:
+            signal.signal(signal.SIGTERM, previous)
