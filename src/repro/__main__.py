@@ -410,8 +410,11 @@ def main(argv=None) -> int:
 
     def _add_client_args(p) -> None:
         p.add_argument("--state-dir", default=None,
-                       help="daemon state dir (reads endpoint.json)")
-        p.add_argument("--host", dest="host_opt", default=None)
+                       help="daemon state dir (reads host/port and the "
+                            "auth token from endpoint.json)")
+        p.add_argument("--host", dest="host_opt", default=None,
+                       help="daemon host; pair with --state-dir so the "
+                            "auth token can still be read")
         p.add_argument("--port", dest="port_opt", type=int, default=None)
         p.add_argument("--client-timeout", type=float, default=300.0,
                        help="socket timeout waiting for the daemon")

@@ -365,8 +365,14 @@ def _run_chunks_registered(kind, payload, chunks, workers, token, *, plan,
                     for i in pending}
                 still: List[int] = []
                 pool_dead = False
-                wait_timeout = clamp_timeout(cancel_scope, chunk_timeout)
                 for i, fut in futures.items():
+                    # Re-clamp per future: these waits are sequential, so
+                    # one clamp for the whole round could block up to
+                    # N_pending × remaining past the job deadline.  Once
+                    # the scope's budget hits zero, every later wait
+                    # times out immediately and the next retry-round
+                    # checkpoint raises the typed deadline error.
+                    wait_timeout = clamp_timeout(cancel_scope, chunk_timeout)
                     try:
                         results[i] = fut.result(timeout=wait_timeout)
                     except concurrent.futures.TimeoutError:

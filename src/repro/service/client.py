@@ -48,13 +48,17 @@ class SubmitOutcome:
                     if isinstance(report_data, dict) else None))
 
 
-def read_endpoint(state_dir: str) -> Tuple[str, int]:
-    """Daemon address from its state dir; typed error when absent."""
+def read_endpoint(state_dir: str) -> Tuple[str, int, Optional[str]]:
+    """Daemon address + auth token from its state dir; typed error when
+    absent.  The endpoint file is written 0600 by the daemon: being able
+    to read the token is what authorises talking to the socket."""
     path = os.path.join(state_dir, "endpoint.json")
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
-        return str(data["host"]), int(data["port"])
+        token = data.get("token")
+        return (str(data["host"]), int(data["port"]),
+                str(token) if token is not None else None)
     except (OSError, ValueError, KeyError) as exc:
         raise DaemonUnavailableError(
             f"no daemon endpoint at {path} (is `repro serve` running "
@@ -66,15 +70,29 @@ class ServiceClient:
     is single-shot: one frame out, one frame back)."""
 
     def __init__(self, host: Optional[str] = None, port: Optional[int] = None,
-                 state_dir: Optional[str] = None, timeout: float = 300.0):
+                 state_dir: Optional[str] = None, timeout: float = 300.0,
+                 auth_token: Optional[str] = None):
         if host is None or port is None:
             if state_dir is None:
                 raise ServiceError(
                     "ServiceClient needs host+port or a state_dir")
-            host, port = read_endpoint(state_dir)
+            host, port, token = read_endpoint(state_dir)
+            if auth_token is None:
+                auth_token = token
+        elif auth_token is None and state_dir is not None:
+            try:
+                _, _, auth_token = read_endpoint(state_dir)
+            except DaemonUnavailableError:
+                pass  # explicit host/port wins; token stays unset
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.auth_token = auth_token
+
+    def _authorized(self, request: Dict[str, object]) -> Dict[str, object]:
+        if self.auth_token is not None:
+            request["auth"] = self.auth_token
+        return request
 
     # -- plumbing ------------------------------------------------------------
 
@@ -88,6 +106,7 @@ class ServiceClient:
                 f"{exc}") from exc
 
     def _roundtrip(self, request: Dict[str, object]) -> Dict[str, object]:
+        request = self._authorized(request)
         with self._connect() as sock:
             rfile = sock.makefile("rb")
             wfile = sock.makefile("wb")
@@ -155,7 +174,7 @@ class ServiceClient:
             request["deadline"] = deadline
         with self._connect() as sock:
             wfile = sock.makefile("wb")
-            send_frame(wfile, request)
+            send_frame(wfile, self._authorized(request))
             # No read: the socket closes on context exit, mid-stream from
             # the daemon's point of view.
         return job_id

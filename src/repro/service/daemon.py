@@ -230,11 +230,13 @@ class BuildService:
     recovery and the breaker directly through these methods.
     """
 
-    _STOP = object()
-
     def __init__(self, config: ServiceConfig):
         self.config = config
         os.makedirs(config.state_dir, exist_ok=True)
+        #: Shared secret for the wire layer: published only through the
+        #: 0600 endpoint file, so socket access is bounded by state-dir
+        #: file permissions (the TCP port alone grants nothing).
+        self.auth_token = uuid.uuid4().hex
         self.cache_dir = config.resolved_cache_dir()
         self.journal = JobJournal(
             os.path.join(config.state_dir, "journal.jsonl"),
@@ -260,6 +262,7 @@ class BuildService:
         self._draining = threading.Event()
         self._drained = threading.Event()
         self._jobs_since_checkpoint = 0
+        self._drain_reason = ""
         self._server = None
         self._server_thread = None
         self.recovered_count = 0
@@ -311,8 +314,8 @@ class BuildService:
         if not self._draining.is_set():
             self._inc("service.drains")
             self.metrics.set_gauge("service.draining", 1)
+            self._drain_reason = reason
             self._draining.set()
-            self._note_reason = reason
 
     def drain(self, timeout: Optional[float] = None) -> Dict[str, object]:
         """Finish/journal in-flight jobs, compact the journal, and return
@@ -342,7 +345,7 @@ class BuildService:
         counters = self.metrics.counters
         with self._lock:
             pending = sum(1 for j in self._jobs.values() if not j.finished)
-        return {
+        out: Dict[str, object] = {
             "jobs_ok": int(counters.get("service.jobs_ok", 0)),
             "jobs_error": int(counters.get("service.jobs_error", 0)),
             "jobs_recovered": int(counters.get("service.jobs_recovered", 0)),
@@ -356,6 +359,9 @@ class BuildService:
             "breaker_trips": self.breaker.trips,
             "pending_jobs": pending,
         }
+        if self._drain_reason:
+            out["drain_reason"] = self._drain_reason
+        return out
 
     # -- metrics helpers -----------------------------------------------------
 
@@ -615,8 +621,10 @@ class BuildService:
                 deadline = float(deadline)  # type: ignore[arg-type]
             except (TypeError, ValueError):
                 raise ServiceError(f"bad deadline {deadline!r}")
+        # No coercion: submit_job's validation rejects non-string source
+        # values with a typed error instead of silently stringifying them.
         job = self.submit_job(
-            {str(k): str(v) for k, v in sources.items()},
+            sources,
             request.get("config") if isinstance(request.get("config"), dict)
             else None,
             deadline=deadline,
@@ -653,6 +661,22 @@ class BuildService:
                     request = recv_frame(self.rfile)
                 except ProtocolError:
                     service._inc("service.client_disconnects")
+                    return
+                # The socket itself is open to any local user; the shared
+                # secret from the 0600 endpoint file is what authorises a
+                # frame.  Checked before *any* dispatch — an unauthorised
+                # peer cannot submit, query other users' jobs, or drain.
+                if request.get("auth") != service.auth_token:
+                    service._inc("service.rejected_auth")
+                    rejection: Dict[str, object] = {"ok": False}
+                    rejection.update(error_to_wire(ServiceError(
+                        "authentication failed: frame is missing the "
+                        "daemon's token (clients read it from endpoint.json "
+                        "in the state dir)")))
+                    try:
+                        send_frame(self.wfile, rejection)
+                    except OSError:
+                        service._inc("service.client_disconnects")
                     return
                 response = service.handle_request(request)
                 plan = service.config.fault_plan
@@ -706,8 +730,13 @@ class BuildService:
     def _write_endpoint(self, host: str, port: int) -> None:
         path = self.endpoint_path(self.config.state_dir)
         tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump({"host": host, "port": port, "pid": os.getpid()}, fh)
+        # 0600 from birth: the endpoint file carries the auth token, so
+        # whoever can read it (the state dir's owner) is exactly who may
+        # talk to the daemon.
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump({"host": host, "port": port, "pid": os.getpid(),
+                       "token": self.auth_token}, fh)
         os.replace(tmp, path)
 
     def run(self, host: str = "127.0.0.1", port: int = 0,

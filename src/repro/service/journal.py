@@ -15,7 +15,10 @@ that record** — everything before it is intact because records never span
 lines.  The ``journal_torn`` fault site simulates exactly this: the
 injected append writes half the record and no newline, and the *next*
 append starts with a newline so the corruption stays confined to the one
-record a real crash would have lost.
+record a real crash would have lost.  A journal reopened over an
+existing file performs the same re-sync when the tail lacks its
+terminator, so the first post-restart append is never glued to a line a
+real crash tore.
 
 ``checkpoint()`` compacts the journal (drops records superseded by a
 ``done``) by writing a temp file and atomically renaming it over the
@@ -78,6 +81,19 @@ class JobJournal:
     def _open(self):
         if self._fh is None:
             os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            # A process killed mid-append (a *real* crash, not just the
+            # fault site) leaves the journal without a trailing newline.
+            # A restarted journal must re-sync before its first append,
+            # or that append would concatenate onto the torn line and be
+            # silently dropped by every later replay — losing a record
+            # that the write-ahead contract promised was durable.
+            try:
+                with open(self.path, "rb") as existing:
+                    existing.seek(-1, os.SEEK_END)
+                    if existing.read(1) != b"\n":
+                        self._tail_torn = True
+            except (OSError, ValueError):
+                pass  # missing or empty journal: nothing to re-sync
             self._fh = open(self.path, "ab")
         return self._fh
 

@@ -167,12 +167,14 @@ class TestConcurrentBackpressure:
         host, port = service.start_server()
         outcomes = [None] * 10
         try:
-            blocker_client = ServiceClient(host=host, port=port, timeout=120)
+            blocker_client = ServiceClient(host=host, port=port, timeout=120,
+                                           auth_token=service.auth_token)
             blocker_client.submit(BLOCKER, WIRE_CONFIG, wait=False,
                                   job_id="blocker")
 
             def _submit(i):
-                client = ServiceClient(host=host, port=port, timeout=120)
+                client = ServiceClient(host=host, port=port, timeout=120,
+                                       auth_token=service.auth_token)
                 try:
                     outcomes[i] = client.submit(
                         dict(SOURCES), WIRE_CONFIG, job_id=f"rush-{i}")
@@ -223,7 +225,8 @@ class TestClientDisconnect:
         service.start()
         host, port = service.start_server()
         try:
-            client = ServiceClient(host=host, port=port, timeout=30)
+            client = ServiceClient(host=host, port=port, timeout=30,
+                                   auth_token=service.auth_token)
             with pytest.raises(ProtocolError):
                 client.submit(dict(SOURCES), WIRE_CONFIG, job_id="dropped")
             job = service.job("dropped")
@@ -242,7 +245,8 @@ class TestClientDisconnect:
         service.start()
         host, port = service.start_server()
         try:
-            client = ServiceClient(host=host, port=port, timeout=30)
+            client = ServiceClient(host=host, port=port, timeout=30,
+                                   auth_token=service.auth_token)
             job_id = client.submit_abandoned(dict(SOURCES), WIRE_CONFIG)
             # The frame is in flight: wait for the daemon to admit it.
             deadline = time.monotonic() + 30
@@ -302,8 +306,8 @@ class TestKillAndRestart:
         state_dir = tmp_path / "state"
         daemon = _spawn_daemon(state_dir)
         try:
-            host, port = _wait_for_endpoint(state_dir, daemon)
-            client = ServiceClient(host=host, port=port, timeout=60)
+            _wait_for_endpoint(state_dir, daemon)
+            client = ServiceClient(state_dir=str(state_dir), timeout=60)
             # A slow blocker plus fast followers, none awaited: the kill
             # lands while the blocker is mid-build and the rest queued.
             client.submit(BLOCKER, WIRE_CONFIG, wait=False, job_id="slow")
@@ -323,8 +327,8 @@ class TestKillAndRestart:
 
         restarted = _spawn_daemon(state_dir)
         try:
-            host, port = _wait_for_endpoint(state_dir, restarted)
-            client = ServiceClient(host=host, port=port, timeout=60)
+            _wait_for_endpoint(state_dir, restarted)
+            client = ServiceClient(state_dir=str(state_dir), timeout=60)
             expected = {"slow": _reference_sha(BLOCKER),
                         "fast-0": REFERENCE_SHA, "fast-1": REFERENCE_SHA}
             deadline = time.monotonic() + 180
@@ -355,8 +359,8 @@ class TestKillAndRestart:
         state_dir = tmp_path / "state"
         daemon = _spawn_daemon(state_dir)
         try:
-            host, port = _wait_for_endpoint(state_dir, daemon)
-            client = ServiceClient(host=host, port=port, timeout=120)
+            _wait_for_endpoint(state_dir, daemon)
+            client = ServiceClient(state_dir=str(state_dir), timeout=120)
             first = client.submit(dict(SOURCES), WIRE_CONFIG, job_id="keep")
             assert first.status == "ok"
             assert first.image["text_sha256"] == REFERENCE_SHA
@@ -366,8 +370,8 @@ class TestKillAndRestart:
 
         restarted = _spawn_daemon(state_dir)
         try:
-            host, port = _wait_for_endpoint(state_dir, restarted)
-            client = ServiceClient(host=host, port=port, timeout=120)
+            _wait_for_endpoint(state_dir, restarted)
+            client = ServiceClient(state_dir=str(state_dir), timeout=120)
             served = client.query("keep")
             assert served.status == "ok"
             assert served.recovered is True

@@ -111,6 +111,30 @@ class TestTornTail:
         assert replay.torn_records == 1
         assert list(replay.jobs) == ["kept"]
 
+    def test_restart_after_real_crash_keeps_next_append(self, tmp_path):
+        """kill -9 mid-append leaves no trailing newline; a *fresh*
+        JobJournal over that file must re-sync before its first append,
+        or the post-crash record is glued onto the torn line and every
+        later replay (including checkpoint) silently drops it."""
+        journal = _journal(tmp_path)
+        journal.submitted("j1", SOURCES, CONFIG, None)
+        journal.close()
+        with open(journal.path, "ab") as fh:
+            fh.write(b'{"rec": "submit", "id": "half')  # torn, no newline
+
+        restarted = _journal(tmp_path)
+        restarted.submitted("j2", SOURCES, CONFIG, None)
+        restarted.close()
+
+        replay = _journal(tmp_path).replay()
+        assert replay.torn_records == 1
+        assert list(replay.jobs) == ["j1", "j2"]
+        # checkpoint() rewrites the journal via replay(): the post-crash
+        # submit must survive compaction too (the write-ahead contract).
+        compacting = _journal(tmp_path)
+        compacting.checkpoint()
+        assert list(compacting.replay().jobs) == ["j1", "j2"]
+
     def test_non_dict_record_counts_as_torn(self, tmp_path):
         journal = _journal(tmp_path)
         journal.submitted("j1", SOURCES, CONFIG, None)

@@ -24,6 +24,7 @@ from repro.service import (
     BuildService,
     CircuitBreaker,
     JobJournal,
+    ServiceClient,
     ServiceConfig,
 )
 from repro.service import protocol
@@ -252,6 +253,26 @@ class TestAdmission:
         with pytest.raises(ServiceError, match="non-empty"):
             service.submit_job({})
 
+    def test_non_string_source_value_rejected_not_stringified(self, tmp_path):
+        """A submit frame with a non-string source (a number, a nested
+        object) gets the typed rejection — never a silent str() build."""
+        service = BuildService(_service_config(tmp_path))
+        response = service.handle_request(
+            {"op": "submit", "sources": {"Main": 42}, "wait": False})
+        assert response["ok"] is False
+        assert response["error"] == "ServiceError"
+        assert "non-empty" in response["message"]
+        assert service._queue.qsize() == 0
+        replay = JobJournal(service.journal.path).replay()
+        assert replay.jobs == {}
+
+    def test_drain_reason_surfaces_in_summary(self, tmp_path):
+        service = BuildService(_service_config(tmp_path))
+        assert "drain_reason" not in service.summary()
+        service.request_drain("signal 15")
+        service.request_drain("second reason is ignored")
+        assert service.summary()["drain_reason"] == "signal 15"
+
 
 class TestRunningService:
     def test_ok_job_reports_image_and_build_report(self, tmp_path):
@@ -315,6 +336,52 @@ class TestRunningService:
             assert job.breaker_open is True
             assert job.report["workers"] == 1
             assert job.report["cache_enabled"] is False
+
+
+class TestWireAuth:
+    """The TCP socket is open to any local user; the shared secret from
+    the 0600 endpoint file is what authorises a frame."""
+
+    @contextmanager
+    def _server(self, tmp_path):
+        service = BuildService(_service_config(tmp_path))
+        host, port = service.start_server()
+        try:
+            yield service, host, port
+        finally:
+            service.stop_server()
+            service.journal.close()
+
+    def test_missing_or_wrong_token_is_rejected_typed(self, tmp_path):
+        with self._server(tmp_path) as (service, host, port):
+            for bad in (None, "wrong-token"):
+                client = ServiceClient(host=host, port=port, timeout=10,
+                                       auth_token=bad)
+                with pytest.raises(ServiceError, match="authentication"):
+                    client.ping()
+            assert service.metrics.counters["service.rejected_auth"] == 2
+
+    def test_unauthenticated_drain_does_not_drain(self, tmp_path):
+        with self._server(tmp_path) as (service, host, port):
+            client = ServiceClient(host=host, port=port, timeout=10)
+            with pytest.raises(ServiceError, match="authentication"):
+                client.drain()
+            assert not service._draining.is_set()
+
+    def test_token_from_endpoint_file_authorises(self, tmp_path):
+        with self._server(tmp_path) as (service, _host, _port):
+            client = ServiceClient(state_dir=service.config.state_dir,
+                                   timeout=10)
+            assert client.auth_token == service.auth_token
+            assert client.ping() is True
+
+    def test_endpoint_file_is_owner_only(self, tmp_path):
+        import os
+        import stat
+
+        with self._server(tmp_path) as (service, _host, _port):
+            path = BuildService.endpoint_path(service.config.state_dir)
+            assert stat.S_IMODE(os.stat(path).st_mode) == 0o600
 
 
 class TestRecovery:
