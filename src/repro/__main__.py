@@ -84,6 +84,9 @@ def _build(args):
                          data_layout=args.data_layout,
                          target=args.target,
                          merge_mode=args.merge,
+                         layout=args.layout,
+                         layout_seed=args.layout_seed,
+                         profile_path=args.profile_in,
                          workers=args.workers,
                          incremental=args.incremental,
                          cache_dir=args.cache_dir,
@@ -113,14 +116,22 @@ def cmd_build(args) -> int:
 
 def cmd_run(args) -> int:
     from repro.pipeline import run_build
+    from repro.sim.profile import ProfileCollector
     from repro.sim.timing import DeviceConfig, TimingModel
 
+    collector = ProfileCollector() if args.profile_out else None
     with _obs_session(args):
         result, _ = _build(args)
         timing = TimingModel(DeviceConfig()) if args.timing else None
         start = time.time()
         execution = run_build(result, timing=timing,
-                              max_steps=args.max_steps)
+                              max_steps=args.max_steps,
+                              profile=collector)
+    if collector is not None:
+        profile = collector.finalize(result.image)
+        digest = profile.save(args.profile_out)
+        print(f"profile:   {args.profile_out} ({profile.num_edges} call "
+              f"edges, sha256 {digest[:12]})", file=sys.stderr)
     for line in execution.output:
         print(line)
     if args.stats:
@@ -305,6 +316,18 @@ def _add_build_args(parser) -> None:
                              "default $REPRO_MERGE or off")
     parser.add_argument("--data-layout", default="module-order",
                         choices=("module-order", "interleaved"))
+    from repro.link.funclayout import LAYOUT_MODES
+    parser.add_argument("--layout", default="source", choices=LAYOUT_MODES,
+                        help="function ordering in __text: source (link "
+                             "order), callgraph-c3 (profile-guided "
+                             "clustering; uses --profile-in or a static "
+                             "call-site census), random (seeded control)")
+    parser.add_argument("--layout-seed", type=int, default=0,
+                        help="seed for --layout random (default 0)")
+    parser.add_argument("--profile-in", default=None, metavar="PATH",
+                        help="layout profile from a previous "
+                             "'run --profile-out' feeding callgraph-c3 "
+                             "edge weights")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for per-module compilation "
                              "(1 = serial, 0 = one per core)")
@@ -354,6 +377,10 @@ def main(argv=None) -> int:
     p_run.add_argument("--stats", action="store_true",
                        help="print execution statistics to stderr")
     p_run.add_argument("--max-steps", type=int, default=100_000_000)
+    p_run.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="record a layout profile (call-graph edge "
+                            "counts) of this run for 'build --layout "
+                            "callgraph-c3 --profile-in PATH'")
     p_run.set_defaults(func=cmd_run)
 
     p_pat = sub.add_parser("patterns",

@@ -97,6 +97,15 @@ class RuntimeTrap(SimulationError):
     """A simulated runtime function detected a fatal error (e.g. bad refcount)."""
 
 
+class ProfileError(ReproError):
+    """A layout profile could not be read, parsed, or validated.
+
+    Raised by :mod:`repro.sim.profile` for missing files, malformed JSON,
+    version mismatches, and structurally invalid profile payloads — a bad
+    profile must become a typed error before it can silently steer the
+    layout pass (or poison a cache key)."""
+
+
 class BuildError(ReproError):
     """The build orchestrator could not produce a binary.
 

@@ -17,6 +17,7 @@ from repro.experiments import (  # noqa: F401
     fig13_spans,
     future_work,
     generality,
+    layout,
     mergeorder,
     table1_landscape,
     table2_stats,
@@ -40,4 +41,5 @@ ALL_EXPERIMENTS = {
     "generality": generality,
     "future_work": future_work,
     "mergeorder": mergeorder,
+    "layout": layout,
 }

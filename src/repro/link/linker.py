@@ -13,6 +13,7 @@ from repro.target import get_target
 from repro.target.spec import TargetSpec
 
 from repro.errors import LinkError
+from repro.link.funclayout import order_functions
 from repro.isa.instructions import (
     INSTR_BYTES,
     Label,
@@ -37,7 +38,10 @@ from repro.runtime.names import ALL_RUNTIME_SYMBOLS
 def link_binary(modules: Sequence[MachineModule],
                 entry_symbol: Optional[str] = None,
                 outlined_layout: str = "appended",
-                target: Union[str, TargetSpec, None] = None) -> BinaryImage:
+                target: Union[str, TargetSpec, None] = None,
+                layout: str = "source",
+                layout_profile=None,
+                layout_seed: int = 0) -> BinaryImage:
     """Link machine modules into an executable image.
 
     ``outlined_layout`` controls where outlined functions land in __text:
@@ -47,6 +51,15 @@ def link_binary(modules: Sequence[MachineModule],
     * ``"near-callers"`` — each outlined function is placed directly after
       the function with the most call sites to it, improving the locality
       of outlined code (the paper's future work #3).
+
+    ``layout`` selects the whole-image function ordering (see
+    :mod:`repro.link.funclayout`): ``"source"`` keeps link order,
+    ``"callgraph-c3"`` clusters hot call chains using *layout_profile*
+    (a :class:`~repro.sim.profile.LayoutProfile`; falls back to a static
+    call-site census when ``None``), ``"random"`` is a *layout_seed*-ed
+    shuffle.  ``near-callers`` composes only with ``layout="source"``;
+    other combinations raise :class:`LinkError` (they would break the
+    outlined-body adjacency contract).
 
     ``target`` selects the width/alignment model: on a fixed-width target
     the classic uniform layout is kept (address = base + index * 4); on a
@@ -62,13 +75,25 @@ def link_binary(modules: Sequence[MachineModule],
                and spec.function_alignment <= spec.widths.default_bytes
                and TEXT_BASE % spec.function_alignment == 0)
 
-    ordered_functions: List[MachineFunction] = []
+    input_functions: List[MachineFunction] = []
     for module in modules:
-        ordered_functions.extend(module.functions)
-    if outlined_layout == "near-callers":
-        ordered_functions = _layout_outlined_near_callers(ordered_functions)
-    elif outlined_layout != "appended":
-        raise LinkError(f"unknown outlined layout {outlined_layout!r}")
+        input_functions.extend(module.functions)
+    with trace.span("layout", target=spec.name, mode=layout,
+                    outlined=outlined_layout):
+        decision = order_functions(input_functions, layout=layout,
+                                   outlined_layout=outlined_layout,
+                                   profile=layout_profile, seed=layout_seed,
+                                   spec=spec)
+    ordered_functions = decision.order
+    # Permutation guard: an ordering that drops, duplicates, or invents a
+    # function must die here as a typed error, never as an image that only
+    # verify_image (or worse, the simulator) can reject.
+    if sorted(fn.name for fn in ordered_functions) != \
+            sorted(fn.name for fn in input_functions):
+        raise LinkError(
+            f"layout {layout!r}/{outlined_layout!r} is not a permutation of "
+            f"the input: {len(input_functions)} functions in, "
+            f"{len(ordered_functions)} out")
 
     # Pass 1: lay out functions and record symbol addresses.
     addr = TEXT_BASE
@@ -145,63 +170,11 @@ def link_binary(modules: Sequence[MachineModule],
                           sum(1 for fn in all_functions if fn.is_outlined))
         metrics.set_gauge("link.text_bytes", image.text_bytes)
         metrics.set_gauge("link.data_bytes", image.data_bytes)
+        metrics.set_gauge("link.layout_profile_edges", decision.profile_edges)
+        metrics.set_gauge("link.layout_clusters", decision.clusters)
+        metrics.set_gauge("link.layout_used_profile",
+                          int(decision.used_profile))
     return image
-
-
-def _layout_outlined_near_callers(
-        functions: List[MachineFunction]) -> List[MachineFunction]:
-    """Place each outlined function after its most frequent caller.
-
-    Outlined functions called from everywhere (the popular retain/release
-    thunks) still get one home; the win comes from the long tail of
-    outlined functions with one or two callers, which land on the same
-    page / cache lines as the code that calls them.
-    """
-    regular = [fn for fn in functions if not fn.is_outlined]
-    outlined = [fn for fn in functions if fn.is_outlined]
-    if not outlined:
-        return functions
-    # Caller census: outlined name -> {caller name: call sites}.
-    callers: Dict[str, Dict[str, int]] = {fn.name: {} for fn in outlined}
-    for fn in functions:
-        for instr in fn.instructions():
-            callee = instr.callee()
-            if callee in callers:
-                census = callers[callee]
-                census[fn.name] = census.get(fn.name, 0) + 1
-    placed_after: Dict[str, List[MachineFunction]] = {}
-    orphans: List[MachineFunction] = []
-    for fn in outlined:
-        census = callers[fn.name]
-        if not census:
-            orphans.append(fn)
-            continue
-        best = max(sorted(census), key=lambda name: census[name])
-        placed_after.setdefault(best, []).append(fn)
-    out: List[MachineFunction] = []
-    for fn in regular:
-        out.append(fn)
-        out.extend(placed_after.pop(fn.name, ()))
-    # Callers that were themselves outlined: resolve iteratively.
-    remaining = [fn for group in placed_after.values() for fn in group]
-    progress = True
-    while remaining and progress:
-        progress = False
-        placed_names = {fn.name: i for i, fn in enumerate(out)}
-        still: List[MachineFunction] = []
-        for fn in remaining:
-            census = callers[fn.name]
-            hosts = [n for n in census if n in placed_names]
-            if hosts:
-                host = max(sorted(hosts), key=lambda name: census[name])
-                out.insert(placed_names[host] + 1, fn)
-                progress = True
-            else:
-                still.append(fn)
-        remaining = still
-    out.extend(remaining)
-    out.extend(orphans)
-    return out
 
 
 def _page_align(addr: int) -> int:

@@ -284,10 +284,20 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
     else:
         raise ReproError(f"unknown pipeline {config.pipeline!r}")
     checkpoint(config.cancel_scope, "link")
+    layout_profile = None
+    if config.profile_path is not None:
+        # Typed ProfileError on junk; loaded once here so the linker (which
+        # cannot import repro.sim without a cycle) just sees edge weights.
+        from repro.sim.profile import LayoutProfile
+
+        layout_profile = LayoutProfile.load(config.profile_path)
     with report.phase("link"):
         result.image = link_binary(result.machine_modules, entry_symbol=entry,
                                    outlined_layout=config.outlined_layout,
-                                   target=config.target)
+                                   target=config.target,
+                                   layout=config.layout,
+                                   layout_profile=layout_profile,
+                                   layout_seed=config.layout_seed)
     result.phase_work["link"] = len(result.image.instrs)
     return result
 
@@ -568,10 +578,15 @@ def _note_cache_recoveries(cache: ModuleCache, report: BuildReport) -> None:
 
 
 def run_build(result: BuildResult, timing=None, entry_symbol=None,
-              max_steps: int = 100_000_000, check_leaks: bool = True):
-    """Execute a build's binary in the interpreter."""
+              max_steps: int = 100_000_000, check_leaks: bool = True,
+              profile=None):
+    """Execute a build's binary in the interpreter.
+
+    Pass a :class:`~repro.sim.profile.ProfileCollector` as *profile* to
+    record the run's call graph for profile-guided layout.
+    """
     from repro.sim.cpu import run_binary
 
     return run_binary(result.image, registry=result.registry, timing=timing,
                       entry_symbol=entry_symbol, max_steps=max_steps,
-                      check_leaks=check_leaks)
+                      check_leaks=check_leaks, profile=profile)

@@ -63,6 +63,18 @@ class BuildConfig:
     #: Text layout of outlined functions: "appended" (what the paper
     #: shipped) or "near-callers" (the paper's future work #3).
     outlined_layout: str = "appended"
+    #: Whole-image function ordering (see :mod:`repro.link.funclayout`):
+    #: "source" (link order), "callgraph-c3" (profile-guided call-chain
+    #: clustering), or "random" (seeded control arm).  "near-callers"
+    #: composes only with "source"; the linker rejects other combinations.
+    layout: str = "source"
+    #: Seed for ``layout="random"``; part of the backend fingerprint.
+    layout_seed: int = 0
+    #: Path to a serialized :class:`~repro.sim.profile.LayoutProfile` that
+    #: feeds "callgraph-c3" edge weights; None = static call-site census.
+    #: The profile's content digest (not the path) enters the backend
+    #: fingerprint, so two builds with equal profiles share cache entries.
+    profile_path: Optional[str] = None
     #: -Osize trivial inliner at the LIR level (future work #2 interaction).
     enable_inliner: bool = False
 
@@ -121,4 +133,21 @@ class BuildConfig:
                 f"gdce={int(self.global_dce)};"
                 f"stats={int(self.collect_outline_stats)};"
                 f"outlayout={self.outlined_layout};"
-                f"inline={int(self.enable_inliner)}")
+                f"inline={int(self.enable_inliner)};"
+                f"funclayout={self.layout};lseed={self.layout_seed};"
+                f"profile={self._profile_digest_tag()}")
+
+    def _profile_digest_tag(self) -> str:
+        """Content digest of the layout profile for the image cache key.
+
+        Digesting (rather than embedding the path) keeps the fingerprint
+        stable across checkouts and temp dirs; loading through the typed
+        reader means a corrupt profile fails the build at fingerprint time
+        with :class:`~repro.errors.ProfileError`, before it can key (or
+        poison) a cache entry.
+        """
+        if self.profile_path is None:
+            return "none"
+        from repro.sim.profile import profile_file_digest
+
+        return profile_file_digest(self.profile_path)[:12]

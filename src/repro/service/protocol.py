@@ -138,6 +138,11 @@ CONFIG_WIRE_FIELDS = (
     "collect_outline_stats",
     "outlined_layout",
     "enable_inliner",
+    # funclayout: mode and seed travel the wire; profile_path deliberately
+    # does NOT (it is a local filesystem path — a remote daemon must never
+    # open client-named files; ship the profile content in a future field).
+    "layout",
+    "layout_seed",
     "verify_image",
 )
 

@@ -1,7 +1,9 @@
-"""Hardware simulation: interpreter, caches, timing model."""
+"""Hardware simulation: interpreter, caches, timing model, profiles."""
 
 from repro.sim.cpu import CPU, ExecutionResult, run_binary
+from repro.sim.profile import LayoutProfile, ProfileCollector
 from repro.sim.timing import DEVICE_GRID, DeviceConfig, TimingModel
 
 __all__ = ["CPU", "ExecutionResult", "run_binary", "TimingModel",
-           "DeviceConfig", "DEVICE_GRID"]
+           "DeviceConfig", "DEVICE_GRID", "LayoutProfile",
+           "ProfileCollector"]

@@ -20,6 +20,7 @@ from repro.link.binary import BinaryImage, HEAP_BASE, STACK_BASE
 from repro.obs import trace as obs_trace
 from repro.runtime.functions import HANDLERS
 from repro.runtime.objects import Heap, TypeRegistry
+from repro.sim.profile import ProfileCollector
 from repro.sim.timing import TimingModel
 from repro.target import get_target
 
@@ -57,9 +58,11 @@ class CPU:
     def __init__(self, image: BinaryImage,
                  registry: Optional[TypeRegistry] = None,
                  timing: Optional[TimingModel] = None,
-                 max_steps: int = 100_000_000):
+                 max_steps: int = 100_000_000,
+                 profile: Optional[ProfileCollector] = None):
         self.image = image
         self.timing = timing
+        self.profile = profile
         self.max_steps = max_steps
         self.regs: Dict[str, Union[int, float]] = {}
         for i in range(31):
@@ -425,6 +428,8 @@ class CPU:
                         float(regs[ops[0]]))
         elif op is Opcode.B:
             target = self.image.resolved_target[idx]
+            if self.profile is not None and instr.is_tail_call:
+                self.profile.on_call(pc, target)
             if instr.is_tail_call and self._native(target):
                 # Tail call into the runtime: return to the caller.
                 next_pc = self._r("x30")
@@ -437,22 +442,30 @@ class CPU:
                 target = self.image.resolved_target[idx]
                 if self.timing is not None:
                     self.timing.on_taken_branch(pc, target)
+                if self.profile is not None:
+                    self.profile.on_taken_branch(pc)
                 next_pc = target
         elif op is Opcode.CBZX:
             if self._r(ops[0]) == 0:
                 target = self.image.resolved_target[idx]
                 if self.timing is not None:
                     self.timing.on_taken_branch(pc, target)
+                if self.profile is not None:
+                    self.profile.on_taken_branch(pc)
                 next_pc = target
         elif op is Opcode.CBNZX:
             if self._r(ops[0]) != 0:
                 target = self.image.resolved_target[idx]
                 if self.timing is not None:
                     self.timing.on_taken_branch(pc, target)
+                if self.profile is not None:
+                    self.profile.on_taken_branch(pc)
                 next_pc = target
         elif op is Opcode.BL:
             target = self.image.resolved_target[idx]
             regs["x30"] = next_pc
+            if self.profile is not None:
+                self.profile.on_call(pc, target)
             if not self._native(target):
                 if self.timing is not None:
                     self.timing.on_uncond_branch(pc, target)
@@ -461,6 +474,8 @@ class CPU:
         elif op is Opcode.BLR:
             target = self._r(ops[0])
             regs["x30"] = next_pc
+            if self.profile is not None:
+                self.profile.on_call(pc, target)
             if not self._native(target):
                 if self.timing is not None:
                     self.timing.on_taken_branch(pc, target)
@@ -487,9 +502,11 @@ def run_binary(image: BinaryImage, registry: Optional[TypeRegistry] = None,
                timing: Optional[TimingModel] = None,
                entry_symbol: Optional[str] = None,
                max_steps: int = 100_000_000,
-               check_leaks: bool = True) -> ExecutionResult:
+               check_leaks: bool = True,
+               profile: Optional[ProfileCollector] = None) -> ExecutionResult:
     """Convenience wrapper: build a CPU and run the image's entry point."""
-    cpu = CPU(image, registry=registry, timing=timing, max_steps=max_steps)
+    cpu = CPU(image, registry=registry, timing=timing, max_steps=max_steps,
+              profile=profile)
     with obs_trace.span("sim-run", kind="sim",
                         entry=entry_symbol or image.entry_symbol or "",
                         timed=timing is not None) as span:

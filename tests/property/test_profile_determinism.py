@@ -1,0 +1,107 @@
+"""Determinism harness for layout profiles.
+
+Profiles are cache-key ingredients (``BuildConfig.backend_fingerprint``
+folds their digest in), so the hard guarantee is byte-identity: the same
+program, built and run the same way, must serialize the *same bytes* —
+
+* across worker counts (parallel lowering must not leak into the run);
+* across interpreter processes with different ``PYTHONHASHSEED`` (dict
+  iteration order, set order, and hash randomization must all be
+  canonicalized away by the serializer);
+* and re-collecting in the same process must agree with both.
+"""
+
+import os
+import subprocess
+import sys
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.pipeline import BuildConfig, build_program, run_build
+from repro.sim.profile import ProfileCollector
+
+_SUPPRESS = [HealthCheck.function_scoped_fixture]
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+_PROGRAM_TEMPLATE = """
+func helper_a(x: Int) -> Int {{
+    return x * {m} + {c}
+}}
+func helper_b(x: Int) -> Int {{
+    var t = 0
+    for i in 0..<{n} {{ t += helper_a(x: x + i) }}
+    return t
+}}
+func helper_c(x: Int) -> Int {{
+    if x % 3 == 0 {{ return helper_a(x: x) }}
+    return helper_b(x: x % 20)
+}}
+func main() {{
+    var total = 0
+    for i in 0..<{loops} {{ total += helper_c(x: i) }}
+    print(total)
+}}
+"""
+
+
+def _program(seed: int) -> str:
+    return _PROGRAM_TEMPLATE.format(m=seed % 7 + 1, c=seed % 13,
+                                    n=seed % 4 + 2, loops=seed % 9 + 4)
+
+
+def _collect_bytes(source: str, workers: int, rounds: int) -> bytes:
+    result = build_program({"Main": source},
+                           BuildConfig(outline_rounds=rounds,
+                                       workers=workers))
+    collector = ProfileCollector()
+    run_build(result, profile=collector)
+    return collector.finalize(result.image).to_json_bytes()
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=_SUPPRESS)
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_profile_bytes_identical_across_worker_counts(seed):
+    source = _program(seed)
+    serial = _collect_bytes(source, workers=1, rounds=2)
+    parallel = _collect_bytes(source, workers=4, rounds=2)
+    again = _collect_bytes(source, workers=1, rounds=2)
+    assert serial == parallel == again, f"seed={seed}"
+
+
+_SUBPROCESS_SNIPPET = """
+import sys
+from repro.pipeline import BuildConfig, build_program, run_build
+from repro.sim.profile import ProfileCollector
+
+source = sys.stdin.read()
+result = build_program({"Main": source}, BuildConfig(outline_rounds=2))
+collector = ProfileCollector()
+run_build(result, profile=collector)
+sys.stdout.buffer.write(collector.finalize(result.image).to_json_bytes())
+"""
+
+
+def _collect_in_subprocess(source: str, hash_seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    # The CI matrix exports REPRO_TARGET/REPRO_MERGE; inherit them so the
+    # subprocess builds the same configuration this process would.
+    proc = subprocess.run([sys.executable, "-c", _SUBPROCESS_SNIPPET],
+                          input=source.encode("utf-8"),
+                          capture_output=True, env=env, timeout=300)
+    assert proc.returncode == 0, proc.stderr.decode("utf-8", "replace")
+    return proc.stdout
+
+
+def test_profile_bytes_identical_across_processes():
+    """Two fresh interpreters with adversarially different hash seeds
+    (dict/set iteration differs everywhere) must serialize byte-identical
+    profiles — and agree with an in-process collection."""
+    source = _program(12345)
+    first = _collect_in_subprocess(source, hash_seed="1")
+    second = _collect_in_subprocess(source, hash_seed="4242")
+    assert first == second
+    assert first == _collect_bytes(source, workers=1, rounds=2)
+    assert first.endswith(b"\n") and b'"version"' in first

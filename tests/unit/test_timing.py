@@ -31,6 +31,33 @@ class TestCache:
         assert tlb.access(1023)
         assert not tlb.access(1024)
 
+    def test_lru_eviction_order_is_recency_not_insertion(self):
+        """Re-accessing a resident line must refresh its LRU position: in
+        a 2-way set holding {A, B}, touching A again and then inserting C
+        evicts B (least recently used), never A (oldest inserted)."""
+        cache = SetAssociativeCache(128, 64, 2)  # 1 set, 2 ways
+        a, b, c = 0x0, 0x40, 0x80
+        assert not cache.access(a)
+        assert not cache.access(b)
+        assert cache.access(a)       # refresh A: LRU order is now [B, A]
+        assert not cache.access(c)   # evicts B
+        assert cache.access(a), "refreshed line was evicted"
+        assert not cache.access(b), "stale line survived the eviction"
+
+    def test_eviction_chain_walks_lru_order(self):
+        """Filling a 4-way set and streaming new lines evicts strictly in
+        LRU order, one victim per insertion."""
+        cache = SetAssociativeCache(256, 64, 4)  # 1 set, 4 ways
+        lines = [0x40 * i for i in range(4)]
+        for addr in lines:
+            assert not cache.access(addr)
+        for extra, victim in enumerate(lines):
+            newcomer = 0x40 * (4 + extra)
+            assert not cache.access(newcomer)
+            assert not cache.access(victim)  # exactly the LRU way died
+            # Re-inserting the victim displaces the next-oldest line,
+            # keeping the chain going.
+
 
 class TestTimingModel:
     def test_base_cost_per_instruction(self):
@@ -88,3 +115,104 @@ class TestTimingModel:
         oldest, newest = DEVICE_GRID[0], DEVICE_GRID[-1]
         assert oldest.icache_bytes < newest.icache_bytes
         assert oldest.data_page_fault_cycles > newest.data_page_fault_cycles
+
+
+class TestLineStraddle:
+    """Icache accounting at cache-line boundaries — the thumb2c cases.
+
+    On a compressed target a 4-byte instruction can start 2 bytes before
+    a line boundary; the fetch must touch (and can miss) both lines.  A
+    2-byte instruction whose last byte stays inside the line must not.
+    """
+
+    def test_4byte_instr_at_line_minus_2_touches_both_lines(self):
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        addr = cfg.line_bytes - 2  # bytes 62..65: straddles lines 0 and 1
+        t.on_instr(addr, width=4)
+        assert t.icache.misses == 2
+        # Both lines are now resident: refetching either half is warm.
+        before = t.cycles
+        t.on_instr(addr, width=4)
+        assert t.icache.misses == 2
+        assert t.cycles == before + 1
+
+    def test_2byte_instr_at_line_minus_2_stays_in_line(self):
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        t.on_instr(cfg.line_bytes - 2, width=2)  # bytes 62..63: line 0 only
+        assert t.icache.misses == 1
+
+    def test_2byte_instr_at_line_minus_1_straddles(self):
+        """Pathological-but-legal on a byte-addressed model: last byte in
+        the next line means two line touches even at width 2."""
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        t.on_instr(cfg.line_bytes - 1, width=2)  # bytes 63..64
+        assert t.icache.misses == 2
+
+    def test_aligned_4byte_instr_never_straddles(self):
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        for addr in range(0, cfg.line_bytes, 4):  # every aligned slot
+            t.on_instr(addr, width=4)
+        assert t.icache.misses == 1  # one line, one cold miss
+
+    def test_straddle_charges_two_miss_penalties_when_both_cold(self):
+        cfg = DeviceConfig()
+        cold = TimingModel(cfg)
+        cold.on_instr(cfg.line_bytes - 2, width=4)
+        aligned = TimingModel(cfg)
+        aligned.on_instr(0, width=4)
+        assert (cold.cycles - aligned.cycles) == cfg.icache_miss_cycles
+
+
+class TestITLBPageBoundary:
+    """iTLB accounting at page boundaries.
+
+    The model checks the iTLB at the *start* address only: instruction
+    fetch translation is per-fetch, and the straddling byte's page is
+    charged when the PC actually lands there (the very next instruction),
+    so per-page costs (iTLB miss, text page fault) are never double-
+    charged for one boundary crossing.
+    """
+
+    def test_last_instr_of_page_charges_only_its_own_page(self):
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        t.on_instr(cfg.page_bytes - 2, width=4)  # straddles pages 0 and 1
+        assert t.text_page_faults == 1
+        assert t.text_pages == {0}
+
+    def test_next_fetch_charges_the_new_page(self):
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        t.on_instr(cfg.page_bytes - 2, width=4)
+        t.on_instr(cfg.page_bytes + 2, width=4)
+        assert t.text_page_faults == 2
+        assert t.text_pages == {0, 1}
+
+    def test_first_touch_of_page_faults_once(self):
+        cfg = DeviceConfig()
+        t = TimingModel(cfg)
+        t.on_instr(0, width=4)
+        cycles_after_first = t.cycles
+        t.on_instr(4, width=4)  # same page, same line, iTLB warm
+        assert t.text_page_faults == 1
+        assert t.cycles == cycles_after_first + 1
+
+    def test_itlb_capacity_miss_does_not_refault_resident_page(self):
+        """Thrashing the iTLB re-charges the translation-miss cycles but
+        never the page fault: residency outlives the TLB entry."""
+        cfg = DeviceConfig(itlb_entries=2, icache_bytes=1 << 20)
+        t = TimingModel(cfg)
+        pages = list(range(6))  # 6 pages > the TLB's 4-way floor capacity
+        for p in pages:
+            t.on_instr(p * cfg.page_bytes, width=4)
+        assert t.text_page_faults == 6
+        faults_cycles = t.cycles
+        for p in pages:  # streaming 6 pages through a 4-entry LRU: all miss
+            t.on_instr(p * cfg.page_bytes, width=4)
+        assert t.text_page_faults == 6, "resident page refaulted"
+        # But the second sweep did pay iTLB miss cycles (capacity misses).
+        assert t.cycles > faults_cycles + 6
