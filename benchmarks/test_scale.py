@@ -1,0 +1,126 @@
+"""Scale benchmark: function-level incremental builds, locked by ceilings.
+
+Builds a large ``appgen`` corpus three ways under the ``fast-build``
+preset — cold, warm no-op (unchanged sources), and warm after a
+single-function edit — and emits ``BENCH_scale.json`` at the repo root
+with the measured walls, peak RSS, and functions-recompiled-per-edit.
+
+The asserted ceilings are what turn the tentpole's wins from anecdotes
+into regressions CI can catch:
+
+* warm no-op rebuild ≥ ``MIN_NOOP_SPEEDUP``× faster than cold (the image
+  entry hits without deserializing per-module LIR or machine IR);
+* a single-function edit recompiles exactly one function and misses
+  exactly one per-module llc entry (everything else comes from the
+  function-level cache);
+* the edit rebuild stays well under a cold build (whole-program sema is
+  the irreducible floor);
+* peak RSS stays bounded.
+
+Scale with ``REPRO_SCALE_FEATURES`` (default 120 ≈ 3.6k functions /
+128 modules; raise it to approach the paper's 10k-function regime —
+the ceilings are ratios, so they hold at any scale).
+
+The post-link verifier is disabled *explicitly* (knob > preset): the
+inner loop this models trusts the cache layer's own torn-entry
+detection, and the verifier's cost would otherwise dominate the warm
+path being measured.
+"""
+
+import json
+import os
+import resource
+import time
+
+from repro.pipeline import BuildConfig, build_program
+from repro.workloads.appgen import (AppSpec, edit_function, generate_app,
+                                    function_fingerprints)
+
+FEATURES = int(os.environ.get("REPRO_SCALE_FEATURES", "120"))
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "BENCH_scale.json")
+
+#: Asserted ceilings (see module docstring).  Ratios, not absolute
+#: seconds, so they are stable across machines.
+MIN_NOOP_SPEEDUP = 10.0
+MAX_EDIT_FRACTION_OF_COLD = 0.8
+MAX_FUNCTIONS_RECOMPILED_PER_EDIT = 1
+MAX_LLC_MISSES_PER_EDIT = 1
+MAX_PEAK_RSS_MB = 1024.0
+
+
+def _peak_rss_mb() -> float:
+    # ru_maxrss is KiB on Linux.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _timed_build(sources, config):
+    start = time.monotonic()
+    result = build_program(sources, config)
+    return result, time.monotonic() - start
+
+
+def test_scale(tmp_path):
+    spec = AppSpec(base_features=FEATURES, num_vendors=6, base_handlers=5)
+    sources = generate_app(spec)
+    config = BuildConfig.preset("fast-build", cache_dir=str(tmp_path),
+                                verify_image=False)
+
+    cold, cold_wall = _timed_build(sources, config)
+    noop, noop_wall = _timed_build(sources, config)
+    assert noop.report.image_cache_hit
+
+    # Edit exactly one function in one mid-corpus module.
+    module = sorted(sources)[len(sources) // 2]
+    func = sorted(function_fingerprints(spec)[module])[0]
+    edited = dict(sources)
+    edited[module] = edit_function(sources[module], func, marker=7)
+    edit, edit_wall = _timed_build(edited, config)
+    report = edit.report
+
+    speedup = cold_wall / noop_wall
+    edit_fraction = edit_wall / cold_wall
+    peak_rss = _peak_rss_mb()
+    payload = {
+        "schema": "bench-scale/1",
+        "corpus": {
+            "features": FEATURES,
+            "modules": len(sources),
+            "functions": cold.sizes.num_functions,
+        },
+        "cold_wall_s": round(cold_wall, 3),
+        "warm_noop_wall_s": round(noop_wall, 3),
+        "warm_edit_wall_s": round(edit_wall, 3),
+        "noop_speedup": round(speedup, 2),
+        "edit_fraction_of_cold": round(edit_fraction, 3),
+        "functions_recompiled_per_edit": report.functions_recompiled,
+        "llc_cache_misses_per_edit": report.llc_cache_misses,
+        "fn_cache_hits_per_edit": report.fn_cache_hits,
+        "peak_rss_mb": round(peak_rss, 1),
+        "ceilings": {
+            "min_noop_speedup": MIN_NOOP_SPEEDUP,
+            "max_edit_fraction_of_cold": MAX_EDIT_FRACTION_OF_COLD,
+            "max_functions_recompiled_per_edit":
+                MAX_FUNCTIONS_RECOMPILED_PER_EDIT,
+            "max_llc_misses_per_edit": MAX_LLC_MISSES_PER_EDIT,
+            "max_peak_rss_mb": MAX_PEAK_RSS_MB,
+        },
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print()
+    print(json.dumps(payload, indent=2))
+
+    # The edited binary differs from the cold one; the no-op one doesn't.
+    assert noop.image.text_section() == cold.image.text_section()
+    assert edit.image.text_section() != cold.image.text_section()
+
+    assert report.functions_recompiled == MAX_FUNCTIONS_RECOMPILED_PER_EDIT
+    assert report.llc_cache_misses == MAX_LLC_MISSES_PER_EDIT
+    assert report.fn_cache_hits > 0
+    assert speedup >= MIN_NOOP_SPEEDUP, (
+        f"warm no-op only {speedup:.1f}x faster than cold")
+    assert edit_fraction <= MAX_EDIT_FRACTION_OF_COLD, (
+        f"single-function edit rebuild cost {edit_fraction:.2f} of cold")
+    assert peak_rss <= MAX_PEAK_RSS_MB, f"peak RSS {peak_rss:.0f} MB"

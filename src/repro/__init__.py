@@ -7,13 +7,16 @@ stack, the whole-program build pipeline, the suffix-tree MachineOutliner
 with repeated outlining, and the simulation substrate used to reproduce
 every table and figure of the paper's evaluation.
 
-Start with :func:`repro.pipeline.build_program` and
-:func:`repro.pipeline.run_build`; see README.md for a tour.
+Start with the stable facade — :func:`repro.api.build`,
+:func:`repro.api.run`, :func:`repro.api.connect`, re-exported here — and
+``BuildConfig.preset("min-size" | "fast-build" | "balanced")`` for named
+configurations; see README.md for a tour.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.api import build, connect, run
 from repro.pipeline import BuildConfig, BuildResult, build_program, run_build
 
-__all__ = ["BuildConfig", "BuildResult", "build_program", "run_build",
-           "__version__"]
+__all__ = ["BuildConfig", "BuildResult", "build", "build_program",
+           "connect", "run", "run_build", "__version__"]

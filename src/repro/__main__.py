@@ -1,5 +1,6 @@
 """Command-line interface: build, run, inspect, serve, and reproduce.
 
+    python -m repro build app.sw [--preset min-size|fast-build|balanced]
     python -m repro build app.sw [--rounds 5] [--pipeline wholeprogram]
     python -m repro run app.sw [--timing]
     python -m repro patterns app.sw [--top 10]
@@ -76,24 +77,42 @@ def _obs_session(args):
                 print(line)
 
 
-def _build(args):
-    from repro.pipeline import BuildConfig, build_program
+#: (argparse attribute, BuildConfig field) — flags default to None so an
+#: absent flag falls through to the preset (or built-in default): the
+#: documented ``explicit > preset > default`` precedence.
+_CLI_KNOBS = (
+    ("pipeline", "pipeline"), ("rounds", "outline_rounds"),
+    ("target", "target"), ("merge", "merge_mode"),
+    ("data_layout", "data_layout"), ("layout", "layout"),
+    ("layout_seed", "layout_seed"), ("profile_in", "profile_path"),
+    ("workers", "workers"), ("incremental", "incremental"),
+    ("cache_dir", "cache_dir"), ("verify_image", "verify_image"),
+    ("fail_fast", "fail_fast"),
+)
 
-    config = BuildConfig(pipeline=args.pipeline,
-                         outline_rounds=args.rounds,
-                         data_layout=args.data_layout,
-                         target=args.target,
-                         merge_mode=args.merge,
-                         layout=args.layout,
-                         layout_seed=args.layout_seed,
-                         profile_path=args.profile_in,
-                         workers=args.workers,
-                         incremental=args.incremental,
-                         cache_dir=args.cache_dir,
-                         verify_image=args.verify_image,
-                         fail_fast=args.fail_fast,
-                         fault_plan=_fault_plan(args))
-    return build_program(_load_sources(args.sources), config), config
+
+def _config_from_args(args, knob_table=_CLI_KNOBS):
+    from repro.pipeline import BuildConfig
+
+    knobs = {config_field: getattr(args, attr)
+             for attr, config_field in knob_table
+             if getattr(args, attr, None) is not None}
+    plan = _fault_plan(args)
+    if plan is not None:
+        knobs["fault_plan"] = plan
+    preset = getattr(args, "preset", None)
+    if preset is not None:
+        return BuildConfig.preset(preset, **knobs)
+    # Historical CLI default: build/run outline unless told otherwise.
+    knobs.setdefault("outline_rounds", 5)
+    return BuildConfig(**knobs)
+
+
+def _build(args):
+    from repro import api
+
+    config = _config_from_args(args)
+    return api.build(_load_sources(args.sources), config), config
 
 
 def cmd_build(args) -> int:
@@ -220,19 +239,29 @@ def cmd_serve(args) -> int:
     return 0
 
 
+#: The submit subcommand ships only fingerprint-bearing knobs over the
+#: wire; build-speed knobs (workers, cache) are the daemon's to choose.
+_SUBMIT_KNOBS = (
+    ("pipeline", "pipeline"), ("rounds", "outline_rounds"),
+    ("target", "target"), ("merge", "merge_mode"),
+    ("data_layout", "data_layout"), ("verify_image", "verify_image"),
+)
+
+
 def _submit_config(args) -> Dict[str, object]:
-    return {"pipeline": args.pipeline, "outline_rounds": args.rounds,
-            "target": args.target, "merge_mode": args.merge,
-            "data_layout": args.data_layout,
-            "verify_image": args.verify_image}
+    config = _config_from_args(args, knob_table=_SUBMIT_KNOBS)
+    return {"pipeline": config.pipeline,
+            "outline_rounds": config.outline_rounds,
+            "target": config.target, "merge_mode": config.merge_mode,
+            "data_layout": config.data_layout,
+            "verify_image": config.verify_image}
 
 
 def cmd_submit(args) -> int:
-    from repro.service import ServiceClient
+    from repro import api
 
-    client = ServiceClient(host=args.host_opt, port=args.port_opt,
-                           state_dir=args.state_dir,
-                           timeout=args.client_timeout)
+    client = api.connect(state_dir=args.state_dir, host=args.host_opt,
+                         port=args.port_opt, timeout=args.client_timeout)
     outcome = client.submit(_load_sources(args.sources),
                             config=_submit_config(args),
                             deadline=args.deadline if args.deadline > 0
@@ -259,11 +288,10 @@ def cmd_submit(args) -> int:
 
 
 def cmd_status(args) -> int:
-    from repro.service import ServiceClient
+    from repro import api
 
-    client = ServiceClient(host=args.host_opt, port=args.port_opt,
-                           state_dir=args.state_dir,
-                           timeout=args.client_timeout)
+    client = api.connect(state_dir=args.state_dir, host=args.host_opt,
+                         port=args.port_opt, timeout=args.client_timeout)
     status = client.status()
     for key, value in sorted(status["summary"].items()):
         print(f"{key}: {value}")
@@ -295,54 +323,70 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def _add_preset_arg(parser) -> None:
+    from repro.pipeline.config import PRESETS
+
+    parser.add_argument("--preset", default=None,
+                        choices=tuple(sorted(PRESETS)),
+                        help="named configuration to start from "
+                             "(min-size: what the paper shipped; "
+                             "fast-build: incremental inner-loop builds; "
+                             "balanced: in between).  Explicit flags "
+                             "override preset fields.")
+
+
 def _add_build_args(parser) -> None:
+    # Flags default to None (= "not given") so _config_from_args can tell
+    # an explicit flag from an absent one; absent flags fall through to
+    # the --preset (if any), then to the BuildConfig defaults.
     parser.add_argument("sources", nargs="+", help="Swiftlet source files")
-    parser.add_argument("--rounds", type=int, default=5,
+    _add_preset_arg(parser)
+    parser.add_argument("--rounds", type=int, default=None,
                         help="machine outlining rounds (default 5)")
-    parser.add_argument("--pipeline", default="wholeprogram",
+    parser.add_argument("--pipeline", default=None,
                         choices=("wholeprogram", "default"))
-    from repro.target import available_targets, default_target_name
-    parser.add_argument("--target", default=default_target_name(),
+    from repro.target import available_targets
+    parser.add_argument("--target", default=None,
                         choices=available_targets(),
                         help="target specification (instruction widths, "
                              "alignment, calling convention); default "
                              "$REPRO_TARGET or arm64")
-    from repro.pipeline.config import MERGE_MODES, default_merge_mode
-    parser.add_argument("--merge", default=default_merge_mode(),
+    from repro.pipeline.config import MERGE_MODES
+    parser.add_argument("--merge", default=None,
                         choices=MERGE_MODES,
                         help="whole-program function merging: off, exact "
                              "(bit-identical dedup), or optimistic "
                              "(similarity merging with priced thunks); "
                              "default $REPRO_MERGE or off")
-    parser.add_argument("--data-layout", default="module-order",
+    parser.add_argument("--data-layout", default=None,
                         choices=("module-order", "interleaved"))
     from repro.link.funclayout import LAYOUT_MODES
-    parser.add_argument("--layout", default="source", choices=LAYOUT_MODES,
+    parser.add_argument("--layout", default=None, choices=LAYOUT_MODES,
                         help="function ordering in __text: source (link "
                              "order), callgraph-c3 (profile-guided "
                              "clustering; uses --profile-in or a static "
                              "call-site census), random (seeded control)")
-    parser.add_argument("--layout-seed", type=int, default=0,
+    parser.add_argument("--layout-seed", type=int, default=None,
                         help="seed for --layout random (default 0)")
     parser.add_argument("--profile-in", default=None, metavar="PATH",
                         help="layout profile from a previous "
                              "'run --profile-out' feeding callgraph-c3 "
                              "edge weights")
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for per-module compilation "
                              "(1 = serial, 0 = one per core)")
-    parser.add_argument("--incremental", action="store_true",
+    parser.add_argument("--incremental", action="store_true", default=None,
                         help="reuse the content-addressed build cache")
     parser.add_argument("--cache-dir", default=None,
                         help="cache location (default: $REPRO_CACHE_DIR "
                              "or a tempdir)")
     parser.add_argument("--verify-image", dest="verify_image",
-                        action="store_true", default=True,
+                        action="store_true", default=None,
                         help="run the post-link binary verifier (default)")
     parser.add_argument("--no-verify-image", dest="verify_image",
                         action="store_false",
                         help="skip the post-link binary verifier")
-    parser.add_argument("--fail-fast", action="store_true",
+    parser.add_argument("--fail-fast", action="store_true", default=None,
                         help="raise on the first worker failure instead of "
                              "retrying/degrading (for CI)")
     parser.add_argument("--inject-faults", default=None, metavar="SPEC",
@@ -446,23 +490,24 @@ def main(argv=None) -> int:
         p.add_argument("--client-timeout", type=float, default=300.0,
                        help="socket timeout waiting for the daemon")
 
-    from repro.pipeline.config import MERGE_MODES, default_merge_mode
-    from repro.target import available_targets, default_target_name
+    from repro.pipeline.config import MERGE_MODES
+    from repro.target import available_targets
 
     p_submit = sub.add_parser("submit",
                               help="submit a build to a running daemon")
     p_submit.add_argument("sources", nargs="+", help="Swiftlet source files")
-    p_submit.add_argument("--rounds", type=int, default=5)
-    p_submit.add_argument("--pipeline", default="wholeprogram",
+    _add_preset_arg(p_submit)
+    p_submit.add_argument("--rounds", type=int, default=None)
+    p_submit.add_argument("--pipeline", default=None,
                           choices=("wholeprogram", "default"))
-    p_submit.add_argument("--target", default=default_target_name(),
+    p_submit.add_argument("--target", default=None,
                           choices=available_targets())
-    p_submit.add_argument("--merge", default=default_merge_mode(),
+    p_submit.add_argument("--merge", default=None,
                           choices=MERGE_MODES)
-    p_submit.add_argument("--data-layout", default="module-order",
+    p_submit.add_argument("--data-layout", default=None,
                           choices=("module-order", "interleaved"))
     p_submit.add_argument("--verify-image", dest="verify_image",
-                          action="store_true", default=True)
+                          action="store_true", default=None)
     p_submit.add_argument("--no-verify-image", dest="verify_image",
                           action="store_false")
     p_submit.add_argument("--deadline", type=float, default=0.0,

@@ -1,0 +1,119 @@
+"""Stable public facade: build, run, connect.
+
+Everything the CLI, the experiments, and external callers need lives
+behind three functions, so internal pipeline modules can keep moving
+without breaking users:
+
+* :func:`build` — compile sources to a :class:`~repro.pipeline.BuildResult`;
+* :func:`run` — compile and execute, returning build + execution together;
+* :func:`connect` — a typed client for a running build daemon.
+
+Configuration resolves with the documented precedence **explicit knob >
+preset > built-in default**: pass ``preset="min-size" | "fast-build" |
+"balanced"`` to start from a named configuration (see
+:data:`repro.pipeline.config.PRESETS`), and any keyword knob on top of it
+wins.  Passing a ready-made :class:`~repro.pipeline.BuildConfig` via
+``config=`` bypasses preset resolution entirely (mixing ``config=`` with
+``preset=`` or knobs is an error — there would be two sources of truth).
+
+The facade adds no behaviour of its own: ``build()`` with a given
+configuration is bit-identical to calling
+:func:`repro.pipeline.build_program` with the same configuration, and the
+equivalence tests pin that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.pipeline import BuildConfig, BuildResult, build_program
+from repro.pipeline import run_build as _run_build
+
+__all__ = ["build", "run", "connect", "resolve_config", "RunResult"]
+
+
+def resolve_config(config: Optional[BuildConfig] = None,
+                   preset: Optional[str] = None,
+                   **knobs) -> BuildConfig:
+    """Resolve ``config`` / ``preset`` / knobs into one BuildConfig.
+
+    Precedence: explicit knobs > preset fields > BuildConfig defaults.
+    """
+    if config is not None:
+        if preset is not None or knobs:
+            raise ReproError(
+                "pass either config= or preset=/knobs, not both")
+        return config
+    if preset is not None:
+        return BuildConfig.preset(preset, **knobs)
+    try:
+        return BuildConfig(**knobs)
+    except TypeError as exc:
+        raise ReproError(f"unknown build option: {exc}") from None
+
+
+def build(sources: Dict[str, str],
+          config: Optional[BuildConfig] = None,
+          *, preset: Optional[str] = None,
+          tracer: Optional[object] = None,
+          **knobs) -> BuildResult:
+    """Compile ``sources`` (module name -> Swiftlet text) to a binary.
+
+    With ``tracer`` (a :class:`repro.obs.Tracer`), the build runs under
+    it and ``result.report.phase_wall`` is copied verbatim from the span
+    durations — the experiments' only timing source.
+    """
+    resolved = resolve_config(config, preset, **knobs)
+    if tracer is None:
+        return build_program(sources, resolved)
+    from repro.obs import use_tracer
+
+    with use_tracer(tracer):
+        return build_program(sources, resolved)
+
+
+@dataclass
+class RunResult:
+    """What :func:`run` produced: the build and its execution."""
+
+    build: BuildResult
+    execution: object  # repro.sim.vm ExecutionResult
+
+    @property
+    def output(self) -> Tuple[str, ...]:
+        return tuple(self.execution.output)
+
+
+def run(sources: Dict[str, str],
+        config: Optional[BuildConfig] = None,
+        *, preset: Optional[str] = None,
+        timing: Optional[object] = None,
+        max_steps: int = 100_000_000,
+        profile: Optional[object] = None,
+        tracer: Optional[object] = None,
+        **knobs) -> RunResult:
+    """Compile and execute; ``timing``/``max_steps``/``profile`` are
+    passed through to :func:`repro.pipeline.run_build`."""
+    result = build(sources, config, preset=preset, tracer=tracer, **knobs)
+    execution = _run_build(result, timing=timing, max_steps=max_steps,
+                           profile=profile)
+    return RunResult(build=result, execution=execution)
+
+
+def connect(state_dir: Optional[str] = None, *,
+            host: Optional[str] = None, port: Optional[int] = None,
+            timeout: float = 300.0,
+            auth_token: Optional[str] = None):
+    """A :class:`~repro.service.client.ServiceClient` for a running
+    daemon — by ``state_dir`` (reads host/port/token from its endpoint
+    file) or an explicit ``host``/``port``.
+
+    Raises :class:`~repro.errors.DaemonUnavailableError` when no daemon
+    is reachable, like every client call does.
+    """
+    from repro.service import ServiceClient
+
+    return ServiceClient(host=host, port=port, state_dir=state_dir,
+                         timeout=timeout, auth_token=auth_token)

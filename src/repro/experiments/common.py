@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.obs import Tracer, use_tracer
-from repro.pipeline import BuildConfig, BuildResult, build_program
+from repro import api
+from repro.obs import Tracer
+from repro.pipeline import BuildConfig, BuildResult
 from repro.workloads.appgen import AppSpec, generate_app
 
 #: Scale presets for the synthetic app.
@@ -36,13 +37,13 @@ def app_spec(scale: str = "small", week: int = 0) -> AppSpec:
 def build_app(spec: AppSpec, config: Optional[BuildConfig] = None) -> BuildResult:
     """Generate + build the synthetic app under one configuration."""
     sources = generate_app(spec)
-    return build_program(sources, config or BuildConfig())
+    return api.build(sources, config or BuildConfig())
 
 
 def traced_build(spec: AppSpec,
                  config: Optional[BuildConfig] = None) -> Tuple[BuildResult,
                                                                 Tracer]:
-    """Build under a fresh :class:`~repro.obs.Tracer`.
+    """Build under a fresh :class:`~repro.obs.Tracer` via the facade.
 
     This is the experiments' *only* timing source: with a tracer active,
     ``BuildResult.report.phase_wall`` is copied verbatim from the span
@@ -50,8 +51,8 @@ def traced_build(spec: AppSpec,
     exactly the numbers the pipeline recorded — no ad-hoc stopwatches.
     """
     tracer = Tracer()
-    with use_tracer(tracer):
-        result = build_app(spec, config)
+    result = api.build(generate_app(spec), config or BuildConfig(),
+                       tracer=tracer)
     return result, tracer
 
 

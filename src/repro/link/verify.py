@@ -154,9 +154,15 @@ def _check_symbols(image: BinaryImage, problems: List[str]) -> None:
 
 def _check_targets(image: BinaryImage, problems: List[str]) -> None:
     starts = {ext.start for ext in image.functions}
+    # _check_text_layout has already proven the extents sorted, contiguous
+    # and exactly covering the instruction stream, so a single forward walk
+    # replaces a per-instruction function_at() lookup.
+    extents = iter(image.functions)
+    ext = next(extents, None)
     for idx, instr in enumerate(image.instrs):
         addr = image.addr_of_index(idx)
-        ext = image.function_at(addr)
+        while ext is not None and addr >= ext.end:
+            ext = next(extents, None)
         target = image.resolved_target.get(idx)
         if instr.branch_target() is not None:
             if target is None:

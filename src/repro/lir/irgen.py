@@ -600,7 +600,8 @@ class ModuleIRGen:
             flags.append(False)
         return tuple(flags[:nargs])
 
-    def run(self) -> ir.LIRModule:
+    def lower_globals(self) -> None:
+        """Lower the module's SIL globals into the LIR module."""
         for gbl in self.sil_module.globals:
             is_object = gbl.ty.is_ref()
             elem_float = False
@@ -611,8 +612,32 @@ class ModuleIRGen:
                              is_object=is_object, elem_is_float=elem_float,
                              origin_module=gbl.origin_module,
                              is_const=gbl.is_let))
+
+    def preintern_strings(self) -> None:
+        """Intern every string constant in whole-module lowering order.
+
+        ``.strN`` numbering is first-use order across the module; the
+        function-level cache assembles modules from a mix of cached and
+        freshly lowered functions, so the table must be populated up
+        front — in exactly the order a full :meth:`run` would produce —
+        for the per-function lowerings to agree on symbols.
+        """
         for silfn in self.sil_module.functions:
-            self.module.functions.append(_FunctionIRGen(silfn, self).run())
+            for block in silfn.blocks:
+                for instr in block.instrs:
+                    if isinstance(instr, sil.ConstString):
+                        self.intern_string(instr.value)
+
+    def lower_function(self, silfn: sil.SILFunction) -> ir.LIRFunction:
+        """Lower one SIL function and append it to the module."""
+        fn = _FunctionIRGen(silfn, self).run()
+        self.module.functions.append(fn)
+        return fn
+
+    def run(self) -> ir.LIRModule:
+        self.lower_globals()
+        for silfn in self.sil_module.functions:
+            self.lower_function(silfn)
         return self.module
 
 

@@ -98,6 +98,16 @@ class InstructionMapper:
         self._next_unique -= 1
         return uid
 
+    def unique_id(self) -> int:
+        """Fresh never-repeating id (segment sentinels, boundaries)."""
+        return self._unique_id()
+
+    def map_instr(self, instr: MachineInstr) -> int:
+        """Id for one instruction: interned if legal, unique otherwise."""
+        if is_legal_to_outline(instr):
+            return self._legal_id(instr)
+        return self._unique_id()
+
     def map_functions(self,
                       functions: Sequence[MachineFunction]) -> MappedProgram:
         program = MappedProgram()

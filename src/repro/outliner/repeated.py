@@ -18,7 +18,11 @@ from typing import List, Optional
 
 from repro.isa.instructions import MachineFunction, MachineModule
 from repro.obs import trace
-from repro.outliner.machine_outliner import RoundStats, run_one_round
+from repro.outliner.machine_outliner import (
+    OutlineIndex,
+    RoundStats,
+    run_one_round,
+)
 from repro.target.spec import TargetSpec
 
 
@@ -38,20 +42,32 @@ class OutlineRoundStats:
 def repeated_outline(module: MachineModule, rounds: int = 5,
                      collect_stats: bool = True, name_counter=None,
                      name_prefix: str = "",
-                     target: Optional[TargetSpec] = None) -> List[OutlineRoundStats]:
+                     target: Optional[TargetSpec] = None,
+                     incremental: Optional[bool] = None) -> List[OutlineRoundStats]:
     """Run up to *rounds* outlining rounds over a whole machine module."""
     return repeated_outline_functions(module.functions, rounds,
                                       collect_stats, name_counter,
-                                      name_prefix, target)
+                                      name_prefix, target, incremental)
 
 
 def repeated_outline_functions(functions: List[MachineFunction],
                                rounds: int = 5, collect_stats: bool = True,
                                name_counter=None,
                                name_prefix: str = "",
-                               target: Optional[TargetSpec] = None) -> List[OutlineRoundStats]:
+                               target: Optional[TargetSpec] = None,
+                               incremental: Optional[bool] = None) -> List[OutlineRoundStats]:
+    """Outline repeatedly; later rounds match calls into earlier rounds.
+
+    ``incremental`` reuses one :class:`OutlineIndex` (persistent mapper +
+    online suffix tree) across rounds instead of rebuilding both from
+    scratch each round; results are bit-identical either way.  Defaults to
+    on for multi-round runs, where the reuse pays for itself.
+    """
     if name_counter is None:
         name_counter = itertools.count(0)
+    if incremental is None:
+        incremental = rounds > 1
+    index = OutlineIndex() if incremental else None
     cumulative: List[OutlineRoundStats] = []
     total_seqs = 0
     total_fns = 0
@@ -62,7 +78,8 @@ def repeated_outline_functions(functions: List[MachineFunction],
         with trace.span("outline-round", kind="outline-round",
                         round_no=round_no, prefix=name_prefix) as span:
             stats = run_one_round(functions, name_counter, round_no=round_no,
-                                  name_prefix=name_prefix, target=target)
+                                  name_prefix=name_prefix, target=target,
+                                  index=index)
             span.annotate(candidates=stats.candidates_considered,
                           sequences_outlined=stats.sequences_outlined,
                           functions_created=stats.functions_created,

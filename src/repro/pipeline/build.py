@@ -39,6 +39,7 @@ from repro.link.binary import BinaryImage
 from repro.link.linker import link_binary
 from repro.link.verify import verify_image
 from repro.pipeline import cache as cache_mod
+from repro.pipeline import fncache
 from repro.pipeline import parallel
 from repro.pipeline.cache import ModuleCache
 from repro.pipeline.cancel import checkpoint
@@ -94,6 +95,26 @@ class BuildResult:
         if self._sizes is None:
             self._sizes = SizeReport.from_image(self.image)
         return self._sizes
+
+
+def _machine_modules_get(self) -> List[MachineModule]:
+    value = self.__dict__.get("_machine_modules")
+    if callable(value):
+        value = value() or []
+        self.__dict__["_machine_modules"] = value
+    return value
+
+
+def _machine_modules_set(self, value) -> None:
+    self.__dict__["_machine_modules"] = value
+
+
+#: ``machine_modules`` also accepts a zero-argument loader: an image-cache
+#: hit defers deserializing the per-module machine IR until something
+#: (disasm, the pattern miner) actually asks for it — a warm no-op rebuild
+#: then pays only for the linked image.
+BuildResult.machine_modules = property(_machine_modules_get,
+                                       _machine_modules_set)
 
 
 def frontend_to_lir(sources: SourceModules) -> Tuple[ProgramInfo,
@@ -190,8 +211,17 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
                       config: BuildConfig,
                       registry: Optional[TypeRegistry] = None,
                       program: Optional[ProgramInfo] = None,
-                      report: Optional[BuildReport] = None) -> BuildResult:
-    """Lower already-optimized LIR modules to a linked binary."""
+                      report: Optional[BuildReport] = None,
+                      module_keys: Optional[List[str]] = None,
+                      cache: Optional[ModuleCache] = None) -> BuildResult:
+    """Lower already-optimized LIR modules to a linked binary.
+
+    With ``module_keys``/``cache`` (the incremental build path), the
+    default pipeline also caches each module's *machine code* under
+    :func:`repro.pipeline.cache.llc_key`, so modules whose LIR key and
+    llc-relevant config are unchanged skip inlining/merging/llc entirely
+    and only re-link.
+    """
     registry = registry or (TypeRegistry.from_program(program) if program
                             else TypeRegistry())
     report = report if report is not None else BuildReport(
@@ -236,17 +266,33 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
         result.machine_modules = [llc_out.module]
         result.outline_stats = llc_out.outline_stats
     elif config.pipeline == "default":
+        n = len(lir_modules)
+        llc_keys: Optional[List[str]] = None
+        llc_hits: Dict[int, object] = {}
+        if (cache is not None and module_keys is not None
+                and config.incremental_llc and len(module_keys) == n):
+            llc_fp = config.llc_fingerprint()
+            llc_keys = [cache_mod.llc_key(mk, llc_fp) for mk in module_keys]
+            with report.phase("llc-cache-probe"):
+                for i, key in enumerate(llc_keys):
+                    llc_entry = cache.load(key)
+                    if _valid_llc_entry(llc_entry):
+                        llc_hits[i] = llc_entry["llc_out"]
+            report.llc_cache_hits = len(llc_hits)
+            report.llc_cache_misses = n - len(llc_hits)
+        missed = [i for i in range(n) if i not in llc_hits]
+        miss_modules = [lir_modules[i] for i in missed]
         merge_stack = _merge_passes(config, per_module=True)
-        if config.enable_inliner or merge_stack:
+        if (config.enable_inliner or merge_stack) and miss_modules:
             with report.phase("opt"):
                 if config.enable_inliner:
                     from repro.lir.passes import inliner
 
-                    for module in lir_modules:
+                    for module in miss_modules:
                         inliner.run_on_module(module)
                 for name, _ in merge_stack:
                     result.pass_reports.setdefault(name, {})
-                for module in lir_modules:
+                for module in miss_modules:
                     # Merging is per-module here (mirroring per-module llc);
                     # the manager still records spans and deltas per run.
                     reports = PassManager(merge_stack,
@@ -260,7 +306,7 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
         with report.phase("llc"):
             workers = parallel.resolve_workers(config.workers)
             outputs = parallel.llc_modules(
-                lir_modules, config.outline_rounds,
+                miss_modules, config.outline_rounds,
                 config.collect_outline_stats, workers,
                 plan=config.fault_plan, report=report,
                 chunk_timeout=config.chunk_timeout,
@@ -268,15 +314,22 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
                 retry_backoff=config.retry_backoff,
                 fail_fast=config.fail_fast,
                 target=config.target,
-                cancel_scope=config.cancel_scope)
+                cancel_scope=config.cancel_scope,
+                persistent=config.persistent_workers)
             if outputs is None:  # workers <= 1: the serial path by design
                 outputs = [run_llc(module, LLCOptions(
                     outline_rounds=config.outline_rounds,
                     collect_stats=config.collect_outline_stats,
                     outlined_name_prefix=f"{module.name}::",
                     target=config.target))
-                    for module in lir_modules]
-            for llc_out in outputs:
+                    for module in miss_modules]
+            if llc_keys is not None:
+                for j, i in enumerate(missed):
+                    cache.store(llc_keys[i], {"llc_out": outputs[j]})
+            by_index = dict(zip(missed, outputs))
+            by_index.update(llc_hits)
+            for i in range(n):
+                llc_out = by_index[i]
                 result.machine_modules.append(llc_out.module)
                 result.outline_stats.extend(llc_out.outline_stats)
         result.phase_work["llc"] = sum(
@@ -312,6 +365,12 @@ class _FrontendOutput:
     registry: TypeRegistry
     #: Per-module cache keys (None when caching is off).
     module_keys: Optional[List[str]] = None
+    #: Per-module *content* identities (function keys + globals; see
+    #: :func:`repro.pipeline.fncache.module_content_key`), used as the
+    #: llc cache base so downstream modules whose LIR did not change keep
+    #: their machine code when an upstream module's source moves.  None
+    #: entries fall back to the module key.
+    llc_base_keys: Optional[List[Optional[str]]] = None
 
 
 def _module_layouts(program: ProgramInfo) -> Dict[str, List[ClassLayout]]:
@@ -333,6 +392,33 @@ def _valid_module_entry(entry: object) -> bool:
             and isinstance(entry.get("layouts"), list))
 
 
+def _assemble_module(sm, signatures, hits) -> Tuple[lir_ir.LIRModule, int]:
+    """Build one module's optimized LIR from cached + fresh functions.
+
+    Globals are lowered and the string-intern table pre-populated in
+    whole-module order first, so the freshly lowered functions agree with
+    the cached ones on ``.strN`` numbering; the fresh functions are then
+    optimized through a scratch module — every -Osize cleanup pass is
+    function-local, so this is bit-identical to optimizing the whole
+    module (the function-cache determinism tests pin that).
+    """
+    gen = ModuleIRGen(sm, signatures)
+    gen.lower_globals()
+    gen.preintern_strings()
+    fresh: List[lir_ir.LIRFunction] = []
+    for silfn in sm.functions:
+        cached_fn = hits.get(silfn.symbol)
+        if cached_fn is not None:
+            gen.module.functions.append(cached_fn)
+        else:
+            fresh.append(gen.lower_function(silfn))
+    if fresh:
+        scratch = lir_ir.LIRModule(name=sm.name)
+        scratch.functions = fresh
+        optimize_module(scratch)
+    return gen.module, len(fresh)
+
+
 def _apply_sil_passes(sil_modules, config: BuildConfig) -> None:
     if config.enable_arc_opt:
         from repro.sil.passes import arc_opt
@@ -347,9 +433,43 @@ def _apply_sil_passes(sil_modules, config: BuildConfig) -> None:
             sil_outline.run_on_module(sm, signatures=signatures)
 
 
+@dataclass
+class _ProbeState:
+    """Cheap per-module identity, computed before any entry is loaded:
+    source hashes, cached (or freshly derived) metas, and the transitive
+    module keys.  Enough to form the image key — so a fully-warm build
+    can hit the whole-image entry without deserializing per-module LIR."""
+
+    hashes: Dict[str, str]
+    metas: Dict[str, "cache_mod.ModuleMeta"]
+    keys: List[str]
+    parsed: Dict[str, object]
+
+
+def _probe_modules(items: List[Tuple[str, str]], config: BuildConfig,
+                   cache: ModuleCache, report: BuildReport) -> _ProbeState:
+    parsed: Dict[str, object] = {}
+    metas: Dict[str, cache_mod.ModuleMeta] = {}
+    hashes = {name: cache_mod.fingerprint_source(text)
+              for name, text in items}
+    with report.phase("cache-probe"):
+        for name, text in items:
+            meta = cache.load(cache_mod.meta_key(hashes[name]))
+            if not isinstance(meta, cache_mod.ModuleMeta):
+                parsed[name] = parse_module(text, name)
+                meta = cache_mod.meta_from_ast(parsed[name])
+                cache.store(cache_mod.meta_key(hashes[name]), meta)
+            metas[name] = meta
+        keys = cache_mod.module_keys(
+            items, hashes, metas, config.frontend_fingerprint(),
+            whole_program_coupling=config.enable_sil_outlining)
+    return _ProbeState(hashes=hashes, metas=metas, keys=keys, parsed=parsed)
+
+
 def _frontend(items: List[Tuple[str, str]], config: BuildConfig,
               cache: Optional[ModuleCache],
-              report: BuildReport) -> _FrontendOutput:
+              report: BuildReport,
+              probe: Optional[_ProbeState] = None) -> _FrontendOutput:
     """Sources -> optimized per-module LIR, using the cache and workers."""
     names = [name for name, _ in items]
     parsed: Dict[str, object] = {}
@@ -357,20 +477,11 @@ def _frontend(items: List[Tuple[str, str]], config: BuildConfig,
     cached: Dict[str, dict] = {}
 
     if cache is not None:
-        metas: Dict[str, cache_mod.ModuleMeta] = {}
-        hashes = {name: cache_mod.fingerprint_source(text)
-                  for name, text in items}
+        if probe is None:
+            probe = _probe_modules(items, config, cache, report)
+        parsed = probe.parsed
+        keys = probe.keys
         with report.phase("cache-probe"):
-            for name, text in items:
-                meta = cache.load(cache_mod.meta_key(hashes[name]))
-                if not isinstance(meta, cache_mod.ModuleMeta):
-                    parsed[name] = parse_module(text, name)
-                    meta = cache_mod.meta_from_ast(parsed[name])
-                    cache.store(cache_mod.meta_key(hashes[name]), meta)
-                metas[name] = meta
-            keys = cache_mod.module_keys(
-                items, hashes, metas, config.frontend_fingerprint(),
-                whole_program_coupling=config.enable_sil_outlining)
             for name, key in zip(names, keys):
                 entry = cache.load(key)
                 if _valid_module_entry(entry):
@@ -389,8 +500,10 @@ def _frontend(items: List[Tuple[str, str]], config: BuildConfig,
             for layout in entry["layouts"]:
                 registry.register(layout)
             lir_modules.append(entry["lir"])
-        return _FrontendOutput(lir_modules=lir_modules, program=None,
-                               registry=registry, module_keys=keys)
+        return _FrontendOutput(
+            lir_modules=lir_modules, program=None, registry=registry,
+            module_keys=keys,
+            llc_base_keys=[cached[name].get("fnsig") for name in names])
 
     # At least one module must be compiled: whole-program sema is required
     # (type ids and closure numbering span modules), and SILGen runs on all
@@ -405,48 +518,136 @@ def _frontend(items: List[Tuple[str, str]], config: BuildConfig,
     with report.phase("silgen"):
         sil_modules = generate_sil(program)
         _apply_sil_passes(sil_modules, config)
+    signatures = {fn.symbol: fn
+                  for sm in sil_modules for fn in sm.functions}
+    sil_by_name = {sm.name: sm for sm in sil_modules}
+
+    # Function level: inside each module-level miss, probe for per-function
+    # LIR so a one-function edit relowers one function.  The keys are
+    # self-validating (own SIL + callee signatures + the module's intern
+    # table; see :mod:`repro.pipeline.fncache`), so they survive the module
+    # key changing.
+    fn_hits: Dict[str, Dict[str, lir_ir.LIRFunction]] = {}
+    fn_key_map: Dict[str, List[Tuple[object, str]]] = {}
+    content_keys: Dict[str, str] = {}
+    use_fn_cache = cache is not None and config.incremental_functions
+    if use_fn_cache:
+        with report.phase("fn-cache-probe"):
+            ffp = config.frontend_fingerprint()
+            total_fns = 0
+            for name in misses:
+                pairs = fncache.module_function_keys(
+                    sil_by_name[name], signatures, ffp)
+                fn_key_map[name] = pairs
+                content_keys[name] = fncache.module_content_key(
+                    sil_by_name[name], [key for _, key in pairs])
+                total_fns += len(pairs)
+                hits: Dict[str, lir_ir.LIRFunction] = {}
+                for silfn, key in pairs:
+                    entry = cache.load(key)
+                    if isinstance(entry, lir_ir.LIRFunction):
+                        hits[silfn.symbol] = entry
+                if hits:
+                    fn_hits[name] = hits
+            for name in names:
+                if name in cached:
+                    fnsig = cached[name].get("fnsig")
+                    if isinstance(fnsig, str):
+                        content_keys[name] = fnsig
+        report.fn_cache_hits = sum(len(h) for h in fn_hits.values())
+        report.fn_cache_misses = total_fns - report.fn_cache_hits
+
+    # Modules with zero function hits take the whole-module path (which
+    # can fan out across workers); partially-hit modules are assembled
+    # function by function in the parent.
+    full_misses = [name for name in misses if name not in fn_hits]
+    partial = [name for name in misses if name in fn_hits]
+
     with report.phase("lower"):
-        signatures = {fn.symbol: fn
-                      for sm in sil_modules for fn in sm.functions}
-        sil_by_name = {sm.name: sm for sm in sil_modules}
         workers = parallel.resolve_workers(config.workers)
         lowered = None
-        if workers > 1 and len(misses) > 1:
+        if workers > 1 and len(full_misses) > 1:
             lowered = parallel.lower_modules(
-                sil_by_name, signatures, misses, workers,
+                sil_by_name, signatures, full_misses, workers,
                 plan=config.fault_plan, report=report,
                 chunk_timeout=config.chunk_timeout,
                 max_retries=config.max_chunk_retries,
                 retry_backoff=config.retry_backoff,
                 fail_fast=config.fail_fast,
-                cancel_scope=config.cancel_scope)
+                cancel_scope=config.cancel_scope,
+                persistent=config.persistent_workers)
         if lowered is None:
             lowered = {}
-            for name in misses:
+            for name in full_misses:
                 module = ModuleIRGen(sil_by_name[name], signatures).run()
                 optimize_module(module)
                 lowered[name] = module
+        recompiled = sum(len(sil_by_name[name].functions)
+                         for name in full_misses)
+        for name in partial:
+            module, n_fresh = _assemble_module(
+                sil_by_name[name], signatures, fn_hits[name])
+            lowered[name] = module
+            recompiled += n_fresh
+    report.functions_recompiled = recompiled
 
     if cache is not None and keys is not None:
         with report.phase("cache-store"):
             layouts = _module_layouts(program)
             for name, key in zip(names, keys):
                 if name in lowered:
-                    cache.store(key, {"lir": lowered[name],
-                                      "layouts": layouts.get(name, [])})
+                    entry = {"lir": lowered[name],
+                             "layouts": layouts.get(name, [])}
+                    if name in content_keys:
+                        entry["fnsig"] = content_keys[name]
+                    cache.store(key, entry)
+            if use_fn_cache:
+                for name in misses:
+                    hits = fn_hits.get(name, {})
+                    by_symbol = {fn.symbol: fn
+                                 for fn in lowered[name].functions}
+                    for silfn, key in fn_key_map[name]:
+                        if silfn.symbol not in hits:
+                            cache.store(key, by_symbol[silfn.symbol])
         report.cache_stores = cache.stats.stores
 
     lir_modules = [cached[name]["lir"] if name in cached else lowered[name]
                    for name in names]
     return _FrontendOutput(lir_modules=lir_modules, program=program,
                            registry=TypeRegistry.from_program(program),
-                           module_keys=keys)
+                           module_keys=keys,
+                           llc_base_keys=[content_keys.get(name)
+                                          for name in names]
+                           if content_keys else None)
+
+
+def _valid_llc_entry(entry: object) -> bool:
+    from repro.backend.llc import LLCResult
+
+    return (isinstance(entry, dict)
+            and isinstance(entry.get("llc_out"), LLCResult))
 
 
 def _valid_image_entry(entry: object) -> bool:
     return (isinstance(entry, dict)
             and isinstance(entry.get("image"), BinaryImage)
-            and isinstance(entry.get("machine_modules"), list))
+            and isinstance(entry.get("layouts"), list))
+
+
+def _machine_modules_loader(cache: ModuleCache, mm_key: str):
+    """Deferred load of the sidecar machine listing for an image hit.
+
+    An entry evicted or torn *after* the hit degrades to an empty listing
+    rather than failing a build whose binary is already verified."""
+
+    def _load() -> List[MachineModule]:
+        entry = cache.load(mm_key)
+        if (isinstance(entry, dict)
+                and isinstance(entry.get("machine_modules"), list)):
+            return entry["machine_modules"]
+        return []
+
+    return _load
 
 
 def build_program(sources: SourceModules,
@@ -487,25 +688,35 @@ def _build_program(items: List[Tuple[str, str]],
              if config.incremental else None)
 
     checkpoint(config.cancel_scope, "frontend")
-    fe = _frontend(items, config, cache, report)
-
-    img_key = None
-    if cache is not None and fe.module_keys is not None:
-        img_key = cache_mod.image_key(fe.module_keys,
+    probe = img_key = None
+    if cache is not None:
+        # Probe the whole-image entry *before* loading any per-module LIR:
+        # its key needs only source hashes and metas, so a fully-warm
+        # rebuild costs hashing + one image load, not O(modules) pickles.
+        probe = _probe_modules(items, config, cache, report)
+        img_key = cache_mod.image_key(probe.keys,
                                       config.backend_fingerprint())
         entry = cache.load(img_key)
-        if _valid_image_entry(entry):
+        mm_key = cache_mod.machine_modules_key(img_key)
+        if _valid_image_entry(entry) and cache.contains(mm_key):
             # A cache-restored image gets re-verified every time: the
             # pickle on disk, not the linker's output, is what a torn
             # write or bit flip would have damaged.
             _verify(entry["image"], config, report)
             report.image_cache_hit = True
+            # The image key covers every module key, so each module is
+            # warm by construction.
+            report.cache_hits = len(items)
+            report.cache_misses = 0
+            registry = TypeRegistry()
+            for layout in entry["layouts"]:
+                registry.register(layout)
             _note_cache_recoveries(cache, report)
             _record_cache_metrics(cache, report)
             cached_result = BuildResult(
-                image=entry["image"], program=fe.program,
-                registry=fe.registry, config=config,
-                machine_modules=entry["machine_modules"],
+                image=entry["image"], program=None,
+                registry=registry, config=config,
+                machine_modules=_machine_modules_loader(cache, mm_key),
                 outline_stats=entry.get("outline_stats", []),
                 pass_reports=entry.get("pass_reports", {}),
                 phase_work=entry.get("phase_work", {}),
@@ -513,18 +724,35 @@ def _build_program(items: List[Tuple[str, str]],
             _note_merge_stats(cached_result, config, report)
             return cached_result
 
+    fe = _frontend(items, config, cache, report, probe=probe)
+
+    llc_bases = fe.module_keys
+    if fe.module_keys is not None and fe.llc_base_keys is not None:
+        # Prefer the content identity; a module with no recorded content
+        # key (older entry shape, function cache off) falls back to its
+        # source-transitive module key.
+        llc_bases = [base if isinstance(base, str) else mk
+                     for base, mk in zip(fe.llc_base_keys, fe.module_keys)]
     result = build_lir_modules(fe.lir_modules, config, registry=fe.registry,
-                               program=fe.program, report=report)
+                               program=fe.program, report=report,
+                               module_keys=llc_bases, cache=cache)
     _verify(result.image, config, report)
     if cache is not None and img_key is not None:
         with report.phase("cache-store"):
             cache.store(img_key, {
                 "image": result.image,
-                "machine_modules": result.machine_modules,
                 "outline_stats": result.outline_stats,
                 "pass_reports": result.pass_reports,
                 "phase_work": result.phase_work,
+                # Class layouts ride along so an image hit can rebuild the
+                # runtime TypeRegistry without touching module entries.
+                "layouts": sorted(result.registry._classes.values(),
+                                  key=lambda lo: lo.type_id),
             })
+            # The heavy machine listing lives in a sidecar entry loaded
+            # only on demand (see machine_modules_key).
+            cache.store(cache_mod.machine_modules_key(img_key),
+                        {"machine_modules": result.machine_modules})
         report.cache_stores = cache.stats.stores
     if cache is not None:
         _note_cache_recoveries(cache, report)
@@ -561,6 +789,12 @@ def _record_cache_metrics(cache: Optional[ModuleCache],
     metrics.set_gauge("cache.evicted_bytes", stats.evicted_bytes)
     metrics.set_gauge("cache.quarantine_reclaimed", stats.quarantine_reclaimed)
     metrics.set_gauge("cache.image_hit", int(report.image_cache_hit))
+    metrics.set_gauge("cache.fn_hits", report.fn_cache_hits)
+    metrics.set_gauge("cache.fn_misses", report.fn_cache_misses)
+    metrics.set_gauge("cache.llc_hits", report.llc_cache_hits)
+    metrics.set_gauge("cache.llc_misses", report.llc_cache_misses)
+    metrics.set_gauge("build.functions_recompiled",
+                      report.functions_recompiled)
 
 
 def _note_cache_recoveries(cache: ModuleCache, report: BuildReport) -> None:

@@ -53,7 +53,13 @@ from repro.pipeline.faults import FaultPlan
 #: Bump whenever codegen output can change (invalidates every entry).
 #: "2": BinaryImage grew target/layout fields; backend keys carry the
 #: target fingerprint.
-PIPELINE_CACHE_VERSION = "2"
+#: "3": function-level LIR entries and per-module machine-code entries
+#: layered under the module keys (new "fn"/"mllc" namespaces; module
+#: entries themselves are unchanged, but one version covers them all).
+#: "4": the image entry carries class layouts and sheds its machine
+#: listing into an "imgmm" sidecar, so an image hit deserializes only
+#: the linked image.
+PIPELINE_CACHE_VERSION = "4"
 
 
 def fingerprint_source(text: str) -> str:
@@ -170,6 +176,47 @@ def image_key(mod_keys: Sequence[str], backend_fingerprint: str) -> str:
                    *mod_keys)
 
 
+def machine_modules_key(img_key: str) -> str:
+    """Sidecar entry holding the per-module machine IR for one image.
+
+    Kept out of the image entry so a warm no-op rebuild (image hit)
+    deserializes only the linked image; the machine listing loads lazily
+    when something (disasm, the pattern miner) actually asks for it.
+    """
+    return _digest("imgmm", PIPELINE_CACHE_VERSION, img_key)
+
+
+def function_key(frontend_fingerprint: str, fn_digest: str,
+                 callees_digest: str, interns_digest: str) -> str:
+    """Cache key for one function's optimized LIR.
+
+    Deliberately *not* derived from the module key: an edit that changes a
+    module's source changes its module key, but every untouched function in
+    it keeps its function key and its cached LIR.  Self-validating inputs:
+
+    * ``fn_digest`` — the function's own post-sema SIL (rendered body plus
+      the signature facts ``render`` omits: param temps/types, return type,
+      bareness, source module);
+    * ``callees_digest`` — the signatures of every symbol the function
+      applies (irgen consults callee param/return types for float-ness);
+    * ``interns_digest`` — the owning module's ordered string-intern table
+      (``.strN`` symbol numbering is shared module-wide).
+    """
+    return _digest("fn", PIPELINE_CACHE_VERSION, frontend_fingerprint,
+                   fn_digest, callees_digest, interns_digest)
+
+
+def llc_key(module_key: str, llc_fingerprint: str) -> str:
+    """Cache key for one module's compiled machine code (post-llc).
+
+    Keyed by the module's LIR key plus only the backend fields that change
+    machine code — link-time fields (layout, profile) are excluded so a
+    layout flip re-links cached machine modules without re-running llc.
+    """
+    return _digest("mllc", PIPELINE_CACHE_VERSION, llc_fingerprint,
+                   module_key)
+
+
 # --- on-disk store -----------------------------------------------------------
 
 
@@ -226,6 +273,10 @@ class ModuleCache:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
+
+    def contains(self, key: str) -> bool:
+        """Entry presence without deserialization (no stats recorded)."""
+        return os.path.exists(self._path(key))
 
     def _quarantine_path(self, key: str) -> str:
         return os.path.join(self.root, "quarantine", f"{key}.pkl")

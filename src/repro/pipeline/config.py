@@ -1,23 +1,77 @@
-"""Build configuration for the two iOS pipelines (Figures 2 and 10)."""
+"""Build configuration for the two iOS pipelines (Figures 2 and 10).
+
+Environment defaults
+--------------------
+
+Every environment variable the build honours is listed here; each one
+only supplies a *default* for the corresponding :class:`BuildConfig`
+field and is ignored the moment the field is set explicitly (by code,
+by a preset, or by a CLI flag — see `Precedence`_ below).
+
+===================  =======================  ===============================
+Variable             BuildConfig field        Meaning
+===================  =======================  ===============================
+``REPRO_TARGET``     ``target``               Target spec name (CI axis).
+``REPRO_MERGE``      ``merge_mode``           Function-merging mode (CI axis).
+``REPRO_CACHE_DIR``  ``cache_dir``            Build-cache directory.
+===================  =======================  ===============================
+
+The legacy readers (:func:`default_merge_mode`,
+:func:`~repro.target.default_target_name`, and the cache-dir fallback in
+:mod:`repro.pipeline.cache`) are kept as deprecation shims; new code
+should go through :func:`env_default` so the table above stays the single
+source of truth.
+
+Precedence
+----------
+
+``explicit field/flag  >  preset  >  environment default  >  built-in``
+
+:meth:`BuildConfig.preset` applies a named preset's fields over the
+built-in defaults; anything passed as an override (or as an explicit CLI
+flag — the CLI uses ``None``-sentinel defaults to tell "explicit" from
+"absent") wins over the preset.
+"""
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional
 
+from repro.errors import ReproError
 from repro.pipeline.faults import FaultPlan
 from repro.target import default_target_name
 
 #: Valid whole-program function-merging modes.
 MERGE_MODES = ("off", "exact", "optimistic")
 
+#: The one environment-default table (see the module docstring):
+#: variable -> BuildConfig field it defaults.
+ENV_DEFAULTS = {
+    "REPRO_TARGET": "target",
+    "REPRO_MERGE": "merge_mode",
+    "REPRO_CACHE_DIR": "cache_dir",
+}
+
+
+def env_default(var: str) -> Optional[str]:
+    """Read one documented environment default (None when unset/blank).
+
+    Raises :class:`ReproError` for variables not in :data:`ENV_DEFAULTS`,
+    so undocumented env knobs cannot creep back in.
+    """
+    if var not in ENV_DEFAULTS:
+        raise ReproError(f"unknown environment default {var!r}; "
+                         f"documented: {', '.join(sorted(ENV_DEFAULTS))}")
+    value = os.environ.get(var, "").strip()
+    return value or None
+
 
 def default_merge_mode() -> str:
     """The default merge mode, honouring ``REPRO_MERGE`` if set (the CI
     matrix axis, mirroring ``REPRO_TARGET``)."""
-    env = os.environ.get("REPRO_MERGE", "").strip()
-    return env or "off"
+    return env_default("REPRO_MERGE") or "off"
 
 
 @dataclass
@@ -85,6 +139,21 @@ class BuildConfig:
     incremental: bool = False
     #: Cache location; None = $REPRO_CACHE_DIR or a tempdir default.
     cache_dir: Optional[str] = None
+    #: Layer per-function LIR entries under the module entries, so editing
+    #: one function relowers one function (the rest of its module is
+    #: assembled from cache).  Only consulted when ``incremental`` is on.
+    incremental_functions: bool = True
+    #: Cache per-module machine code (post-llc) under its own key in the
+    #: default pipeline, so a link-only change (layout flip, one-module
+    #: edit) re-links cached machine modules instead of re-running llc.
+    #: Only consulted when ``incremental`` is on.
+    incremental_llc: bool = True
+    #: Keep the forked worker pool alive across builds in this process
+    #: (daemon / batch use) instead of fork+teardown per build.  Worker
+    #: payloads are then shipped per task rather than inherited via
+    #: fork-time copy-on-write; the fault ladder still tears the pool
+    #: down and rebuilds it on a crash.
+    persistent_workers: bool = False
 
     # -- robustness knobs (never affect the produced binary) ----------------
     #: Run the post-link binary verifier on every build and every
@@ -137,6 +206,44 @@ class BuildConfig:
                 f"funclayout={self.layout};lseed={self.layout_seed};"
                 f"profile={self._profile_digest_tag()}")
 
+    def llc_fingerprint(self) -> str:
+        """Config fields that change one module's *machine code* in the
+        default pipeline (per-module llc cache key).  A strict subset of
+        :meth:`backend_fingerprint`: link-only fields (function layout,
+        layout seed, profile, outlined-function placement) and
+        whole-program-pipeline-only passes (globaldce, fmsa, exact merge
+        stage, llvm-link data layout) are excluded, so flipping them
+        re-links cached machine modules without re-running llc."""
+        from repro.target import get_target
+
+        spec = get_target(self.target)
+        return (f"target={spec.name}:{spec.fingerprint()[:12]};"
+                f"pipe={self.pipeline};rounds={self.outline_rounds};"
+                f"mergemode={self.merge_mode};"
+                f"stats={int(self.collect_outline_stats)};"
+                f"inline={int(self.enable_inliner)}")
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "BuildConfig":
+        """A named configuration preset (see :data:`PRESETS`).
+
+        Keyword *overrides* are applied on top of the preset's fields —
+        the documented ``explicit > preset > default`` precedence.
+        """
+        try:
+            base = PRESETS[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown preset {name!r}; expected one of: "
+                f"{', '.join(sorted(PRESETS))}") from None
+        config = cls(**base)
+        if overrides:
+            try:
+                config = replace(config, **overrides)
+            except TypeError as exc:
+                raise ReproError(f"bad preset override: {exc}") from None
+        return config
+
     def _profile_digest_tag(self) -> str:
         """Content digest of the layout profile for the image cache key.
 
@@ -151,3 +258,58 @@ class BuildConfig:
         from repro.sim.profile import profile_file_digest
 
         return profile_file_digest(self.profile_path)[:12]
+
+
+#: Named presets (:meth:`BuildConfig.preset` / CLI ``--preset``).  Each
+#: entry is the full explicit-knob spelling of the preset — the
+#: equivalence tests build both and require bit-identical images.
+#:
+#: ``min-size``
+#:     What the paper shipped, plus the stacked optimistic merger: the
+#:     whole-program pipeline, five outlining rounds, global DCE.
+#:     Slowest builds, smallest binaries.
+#: ``fast-build``
+#:     Inner-loop iteration: the per-module (Figure 2) pipeline with one
+#:     outlining round, function-level incremental caching, auto worker
+#:     count and a persistent worker pool.  Fastest warm builds; binaries
+#:     are larger than ``min-size``.
+#: ``balanced``
+#:     Whole-program pipeline with three rounds and exact (bit-identical)
+#:     function merging, still incremental and parallel.
+PRESETS: Dict[str, Dict[str, object]] = {
+    "min-size": {
+        "pipeline": "wholeprogram",
+        "outline_rounds": 5,
+        "merge_mode": "optimistic",
+        "global_dce": True,
+    },
+    "fast-build": {
+        "pipeline": "default",
+        "outline_rounds": 1,
+        "merge_mode": "off",
+        "workers": 0,
+        "incremental": True,
+        "persistent_workers": True,
+    },
+    "balanced": {
+        "pipeline": "wholeprogram",
+        "outline_rounds": 3,
+        "merge_mode": "exact",
+        "workers": 0,
+        "incremental": True,
+    },
+}
+
+#: Build-speed / robustness fields that must never enter a fingerprint
+#: (used by tests to pin the bit-identity contract).
+SPEED_FIELDS = frozenset({
+    "workers", "incremental", "cache_dir", "incremental_functions",
+    "incremental_llc", "persistent_workers", "chunk_timeout",
+    "max_chunk_retries", "retry_backoff", "fail_fast", "fault_plan",
+    "cancel_scope",
+})
+
+
+def config_fields() -> tuple:
+    """All BuildConfig field names (for CLI/facade plumbing)."""
+    return tuple(f.name for f in fields(BuildConfig))

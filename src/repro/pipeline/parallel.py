@@ -149,6 +149,66 @@ def _terminate_live_pools() -> None:
 atexit.register(_terminate_live_pools)
 
 
+# --- persistent pool (survives across builds) --------------------------------
+#
+# With ``BuildConfig.persistent_workers`` the executor is kept alive at
+# module level and reused by every subsequent build in this process (the
+# daemon, CLI batch runs), skipping the per-build fork+teardown.  The
+# children were forked *before* any given build's inputs existed, so
+# copy-on-write inheritance through ``_REGISTRY`` cannot reach them —
+# persistent tasks carry their own self-contained payload instead
+# (see ``_Task.payload``).  The fault ladder is unchanged: a dead or hung
+# persistent pool is retired (torn down and forgotten) and the next retry
+# round forks a fresh one.
+
+_PERSISTENT_LOCK = threading.Lock()
+_PERSISTENT_POOL = None
+_PERSISTENT_SIZE = 0
+
+
+def _acquire_persistent_pool(ctx, workers: int):
+    """The shared cross-build pool, (re)created at >= ``workers`` size."""
+    global _PERSISTENT_POOL, _PERSISTENT_SIZE
+    with _PERSISTENT_LOCK:
+        pool = _PERSISTENT_POOL
+        if pool is not None and _PERSISTENT_SIZE >= workers:
+            obs_trace.metrics().inc("pool.persistent_reused")
+            return pool
+        if pool is not None:  # too small for this build: grow by replacing
+            _PERSISTENT_POOL = None
+            _PERSISTENT_SIZE = 0
+            _teardown_pool(pool)
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx, initializer=_worker_init)
+        _LIVE_POOLS.add(pool)
+        _PERSISTENT_POOL = pool
+        _PERSISTENT_SIZE = workers
+        obs_trace.metrics().inc("pool.persistent_created")
+        return pool
+
+
+def _retire_persistent_pool(pool) -> None:
+    """Forget (and kill) a persistent pool that went bad."""
+    global _PERSISTENT_POOL, _PERSISTENT_SIZE
+    with _PERSISTENT_LOCK:
+        if _PERSISTENT_POOL is pool:
+            _PERSISTENT_POOL = None
+            _PERSISTENT_SIZE = 0
+    obs_trace.metrics().inc("pool.persistent_retired")
+    _teardown_pool(pool)
+
+
+def shutdown_persistent_pool() -> None:
+    """Tear down the cross-build pool (daemon drain, tests, atexit)."""
+    global _PERSISTENT_POOL, _PERSISTENT_SIZE
+    with _PERSISTENT_LOCK:
+        pool = _PERSISTENT_POOL
+        _PERSISTENT_POOL = None
+        _PERSISTENT_SIZE = 0
+    if pool is not None:
+        _teardown_pool(pool)
+
+
 def resolve_workers(workers: int) -> int:
     """Translate the config knob into a worker count (0 = auto).
 
@@ -218,6 +278,11 @@ class _Task:
     index: int
     attempt: int
     plan: Optional[FaultPlan]
+    #: Self-contained inputs for this chunk.  ``None`` means "read the
+    #: fork-inherited ``_REGISTRY[token]``" (per-build pools, where the
+    #: children forked after registration); persistent pools forked
+    #: before this build existed, so their tasks must carry everything.
+    payload: Optional[Dict[str, object]] = None
 
     @property
     def site(self) -> str:
@@ -244,7 +309,8 @@ def _run_task(task: _Task):
     """Pool entry point.  Fault injection happens only here, in the worker
     process — the parent's serial re-runs call the chunk functions
     directly and are therefore immune by construction."""
-    payload = _REGISTRY[task.token]
+    payload = (task.payload if task.payload is not None
+               else _REGISTRY[task.token])
     if task.plan is not None:
         if task.plan.should_fire("worker_crash", task.site):
             os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
@@ -281,7 +347,10 @@ def run_chunks(kind: str, payload: Dict[str, object],
                max_retries: int = 2,
                retry_backoff: float = 0.05,
                fail_fast: bool = False,
-               cancel_scope: Optional[CancelScope] = None) -> List[object]:
+               cancel_scope: Optional[CancelScope] = None,
+               persistent: bool = False,
+               chunk_payloads: Optional[Sequence[Dict[str, object]]] = None,
+               ) -> List[object]:
     """Run every chunk to completion, degrading per-chunk as needed.
 
     Returns results aligned with ``chunks``.  Recoverable failures (worker
@@ -295,16 +364,25 @@ def run_chunks(kind: str, payload: Dict[str, object],
     for a dead or hung worker, :class:`~repro.errors.BuildError`
     otherwise) instead of degrading.  Useful in CI, where a flaky worker
     should be *noticed*, not papered over.
+
+    With ``persistent=True`` the chunks run on the shared cross-build
+    pool (created on first use, reused afterwards); the caller must then
+    supply ``chunk_payloads`` — one self-contained payload per chunk —
+    because a pre-forked pool cannot see this build's registry entry.
     """
     if not chunks:
         return []
+    if persistent and chunk_payloads is None:
+        raise BuildError("persistent run_chunks requires chunk_payloads "
+                         "(pre-forked workers cannot inherit the registry)")
     token = _register(payload)
     try:
         return _run_chunks_registered(
             kind, payload, chunks, workers, token, plan=plan, report=report,
             phase=phase, chunk_timeout=chunk_timeout, max_retries=max_retries,
             retry_backoff=retry_backoff, fail_fast=fail_fast,
-            cancel_scope=cancel_scope)
+            cancel_scope=cancel_scope, persistent=persistent,
+            chunk_payloads=chunk_payloads)
     finally:
         _unregister(token)
 
@@ -319,7 +397,8 @@ def _degrade(report: Optional[BuildReport], kind: str, phase: str,
 def _run_chunks_registered(kind, payload, chunks, workers, token, *, plan,
                            report, phase, chunk_timeout, max_retries,
                            retry_backoff, fail_fast=False,
-                           cancel_scope=None) -> List[object]:
+                           cancel_scope=None, persistent=False,
+                           chunk_payloads=None) -> List[object]:
     results: Dict[int, object] = {}
     pending = list(range(len(chunks)))
 
@@ -347,24 +426,45 @@ def _run_chunks_registered(kind, payload, chunks, workers, token, *, plan,
                 checkpoint(cancel_scope, f"{phase or kind} retry round")
                 if pool is None:
                     try:
-                        pool = concurrent.futures.ProcessPoolExecutor(
-                            max_workers=min(workers, len(pending)),
-                            mp_context=ctx, initializer=_worker_init)
-                        _LIVE_POOLS.add(pool)
+                        if persistent:
+                            pool = _acquire_persistent_pool(ctx, workers)
+                        else:
+                            pool = concurrent.futures.ProcessPoolExecutor(
+                                max_workers=min(workers, len(pending)),
+                                mp_context=ctx, initializer=_worker_init)
+                            _LIVE_POOLS.add(pool)
                     except Exception as exc:
                         _degrade(report, "pool-unavailable", phase,
                                  f"{type(exc).__name__}: {exc}")
                         break
                 if attempt and retry_backoff:
                     time.sleep(retry_backoff * attempt)
-                futures = {
-                    i: pool.submit(_run_task, _Task(kind=kind, token=token,
-                                                    chunk=tuple(chunks[i]),
-                                                    index=i, attempt=attempt,
-                                                    plan=plan))
-                    for i in pending}
-                still: List[int] = []
-                pool_dead = False
+                futures = {}
+                for i in pending:
+                    try:
+                        futures[i] = pool.submit(_run_task, _Task(
+                            kind=kind, token=token, chunk=tuple(chunks[i]),
+                            index=i, attempt=attempt, plan=plan,
+                            payload=(chunk_payloads[i] if chunk_payloads
+                                     is not None else None)))
+                    except BrokenProcessPool as exc:
+                        # The pool can already be broken at submit time —
+                        # a worker died after the previous round's results
+                        # were drained, or a reused persistent pool went
+                        # bad between builds.  Same rung as a crash seen
+                        # mid-round, not an escape from the ladder.
+                        if fail_fast:
+                            raise WorkerCrashError(
+                                f"{phase or kind} chunk {i}: "
+                                f"{exc or 'pool broken at submit'}",
+                                chunk=i, attempt=attempt) from exc
+                        _degrade(report, "worker-crash", phase,
+                                 f"pool broken at submit: "
+                                 f"{exc or 'worker process died'}",
+                                 chunk=i, attempt=attempt)
+                        break
+                still: List[int] = [i for i in pending if i not in futures]
+                pool_dead = bool(still)
                 for i, fut in futures.items():
                     # Re-clamp per future: these waits are sequential, so
                     # one clamp for the whole round could block up to
@@ -406,12 +506,18 @@ def _run_chunks_registered(kind, payload, chunks, workers, token, *, plan,
                                  f"{type(exc).__name__}: {exc}",
                                  chunk=i, attempt=attempt)
                         still.append(i)
-                pending = still
+                pending = sorted(still)
                 if pool_dead:
-                    _teardown_pool(pool)
+                    if persistent:
+                        _retire_persistent_pool(pool)
+                    else:
+                        _teardown_pool(pool)
                     pool = None
     finally:
-        if pool is not None:
+        # A persistent pool outlives the build by design; its teardown
+        # happens on retirement (above), daemon drain, or the atexit
+        # sweep.  Per-build pools die here no matter how we leave.
+        if pool is not None and not persistent:
             _teardown_pool(pool)
             pool = None
 
@@ -450,6 +556,25 @@ def _round_robin(items: Sequence, workers: int) -> List[List]:
     return [c for c in chunks if c]
 
 
+def _signature_stubs(signatures: Dict[str, object]) -> Dict[str, object]:
+    """Small picklable stand-ins for the whole-program signature table.
+
+    Worker-side IRGen consults only callee parameter/return types
+    (``ret_is_float`` / ``arg_floats``), so bodies are dropped before
+    shipping the table to a persistent pool, which cannot inherit it via
+    fork-time copy-on-write.  Batching many modules per chunk (the
+    round-robin below) amortizes what pickling remains.
+    """
+    from repro.sil import sil
+
+    return {symbol: sil.SILFunction(symbol=symbol,
+                                    param_types=list(fn.param_types),
+                                    ret_type=fn.ret_type,
+                                    is_bare=fn.is_bare,
+                                    source_module=fn.source_module)
+            for symbol, fn in signatures.items()}
+
+
 def lower_modules(sil_by_name: Dict[str, object],
                   signatures: Dict[str, object],
                   names: Sequence[str], workers: int, *,
@@ -460,6 +585,7 @@ def lower_modules(sil_by_name: Dict[str, object],
                   retry_backoff: float = 0.05,
                   fail_fast: bool = False,
                   cancel_scope: Optional[CancelScope] = None,
+                  persistent: bool = False,
                   ) -> Optional[Dict[str, object]]:
     """Lower ``names`` to optimized LIR across ``workers`` processes.
 
@@ -471,13 +597,21 @@ def lower_modules(sil_by_name: Dict[str, object],
     payload = {"sil_by_name": dict(sil_by_name),
                "signatures": dict(signatures)}
     chunks = _round_robin(list(names), workers)
+    chunk_payloads = None
+    if persistent:
+        stubs = _signature_stubs(signatures)
+        chunk_payloads = [{"sil_by_name": {n: sil_by_name[n] for n in chunk},
+                           "signatures": stubs}
+                          for chunk in chunks]
     results = run_chunks("lower", payload, chunks, workers, plan=plan,
                          report=report, phase="lower",
                          chunk_timeout=chunk_timeout,
                          max_retries=max_retries,
                          retry_backoff=retry_backoff,
                          fail_fast=fail_fast,
-                         cancel_scope=cancel_scope)
+                         cancel_scope=cancel_scope,
+                         persistent=persistent,
+                         chunk_payloads=chunk_payloads)
     lowered: Dict[str, object] = {}
     for chunk_result in results:
         for name, module in chunk_result:
@@ -498,6 +632,7 @@ def llc_modules(lir_modules: Sequence[object], outline_rounds: int,
                 fail_fast: bool = False,
                 target: Optional[str] = None,
                 cancel_scope: Optional[CancelScope] = None,
+                persistent: bool = False,
                 ) -> Optional[List[object]]:
     """Run per-module llc in parallel; returns outputs in module order."""
     if workers <= 1 or len(lir_modules) <= 1:
@@ -507,13 +642,24 @@ def llc_modules(lir_modules: Sequence[object], outline_rounds: int,
                "collect_stats": collect_stats,
                "target": target}
     chunks = _round_robin(list(range(len(lir_modules))), workers)
+    chunk_payloads = None
+    if persistent:
+        # The chunk function indexes ``lir_modules`` by module number, so
+        # a dict carrying just this chunk's modules is a drop-in.
+        chunk_payloads = [{"lir_modules": {i: lir_modules[i] for i in chunk},
+                           "outline_rounds": outline_rounds,
+                           "collect_stats": collect_stats,
+                           "target": target}
+                          for chunk in chunks]
     results = run_chunks("llc", payload, chunks, workers, plan=plan,
                          report=report, phase="llc",
                          chunk_timeout=chunk_timeout,
                          max_retries=max_retries,
                          retry_backoff=retry_backoff,
                          fail_fast=fail_fast,
-                         cancel_scope=cancel_scope)
+                         cancel_scope=cancel_scope,
+                         persistent=persistent,
+                         chunk_payloads=chunk_payloads)
     ordered: List[object] = [None] * len(lir_modules)
     for chunk_result in results:
         for i, llc_out in chunk_result:

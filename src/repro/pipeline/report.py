@@ -81,6 +81,15 @@ class BuildReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    #: Function-level LIR cache outcomes (within module-level misses).
+    fn_cache_hits: int = 0
+    fn_cache_misses: int = 0
+    #: Functions actually relowered+reoptimized this build (the
+    #: functions-recompiled-per-edit gauge; 0 on a fully warm build).
+    functions_recompiled: int = 0
+    #: Per-module machine-code (llc) cache outcomes (default pipeline).
+    llc_cache_hits: int = 0
+    llc_cache_misses: int = 0
     #: True when the whole linked image came from the cache (nothing was
     #: recompiled, not even the frontend).
     image_cache_hit: bool = False
@@ -160,6 +169,11 @@ class BuildReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_stores": self.cache_stores,
+            "fn_cache_hits": self.fn_cache_hits,
+            "fn_cache_misses": self.fn_cache_misses,
+            "functions_recompiled": self.functions_recompiled,
+            "llc_cache_hits": self.llc_cache_hits,
+            "llc_cache_misses": self.llc_cache_misses,
             "image_cache_hit": self.image_cache_hit,
             "phase_wall": dict(self.phase_wall),
             "notes": list(self.notes),
@@ -181,6 +195,11 @@ class BuildReport:
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
             cache_stores=int(data.get("cache_stores", 0)),
+            fn_cache_hits=int(data.get("fn_cache_hits", 0)),
+            fn_cache_misses=int(data.get("fn_cache_misses", 0)),
+            functions_recompiled=int(data.get("functions_recompiled", 0)),
+            llc_cache_hits=int(data.get("llc_cache_hits", 0)),
+            llc_cache_misses=int(data.get("llc_cache_misses", 0)),
             image_cache_hit=bool(data.get("image_cache_hit", False)),
             phase_wall={str(k): float(v) for k, v in
                         (data.get("phase_wall") or {}).items()},
@@ -205,6 +224,13 @@ class BuildReport:
             cache = "cache off"
         lines.append(f"frontend:  {self.num_modules} modules, "
                      f"{self.workers} worker(s), {cache}")
+        if self.cache_enabled and (self.fn_cache_hits or self.fn_cache_misses):
+            lines.append(f"functions: {self.fn_cache_hits} cached / "
+                         f"{self.functions_recompiled} recompiled")
+        if self.cache_enabled and (self.llc_cache_hits
+                                   or self.llc_cache_misses):
+            lines.append(f"llc cache: {self.llc_cache_hits} hits / "
+                         f"{self.llc_cache_misses} misses")
         if self.target:
             lines.append(f"target:    {self.target}")
         if self.merge_mode != "off":

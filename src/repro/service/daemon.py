@@ -333,6 +333,11 @@ class BuildService:
         with self._journal_lock:
             self.journal.checkpoint()
             self.journal.close()
+        # The persistent build pool outlives individual jobs by design;
+        # drain is where its forked workers finally go away.
+        from repro.pipeline.parallel import shutdown_persistent_pool
+
+        shutdown_persistent_pool()
         self._drained.set()
         return self.summary()
 
@@ -485,6 +490,10 @@ class BuildService:
         else:
             config.workers = self.config.build_workers
             config.incremental = self.config.incremental
+            # Back-to-back jobs reuse one forked worker pool instead of
+            # paying a pool spawn per job; a crashed pool is retired and
+            # the next job forks a fresh one.
+            config.persistent_workers = True
         config.cache_dir = self.cache_dir
         config.chunk_timeout = self.config.chunk_timeout
         config.fault_plan = self.config.fault_plan

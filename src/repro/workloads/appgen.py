@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -390,3 +391,57 @@ def module_fingerprints(spec: AppSpec) -> Dict[str, str]:
 def span_symbols(spec: AppSpec) -> List[str]:
     """Entry symbols of every span in the generated app."""
     return [f"Feature{m}::m{m}Span" for m in range(spec.num_features)]
+
+
+#: A top-level function definition (column 0; methods are indented).
+_TOP_LEVEL_FUNC = re.compile(r"^func (\w+)\(", re.MULTILINE)
+
+
+def _function_extents(source: str) -> List[Tuple[str, int, int]]:
+    """(name, start, end) character extents of each top-level function.
+
+    A definition runs from its ``func`` line to the next line that is a
+    lone ``}`` at column 0 — how the generator closes every top-level
+    function it emits.
+    """
+    extents: List[Tuple[str, int, int]] = []
+    for match in _TOP_LEVEL_FUNC.finditer(source):
+        close = source.find("\n}", match.start())
+        end = close + 2 if close >= 0 else len(source)
+        extents.append((match.group(1), match.start(), end))
+    return extents
+
+
+def function_fingerprints(spec: AppSpec) -> Dict[str, Dict[str, str]]:
+    """module -> {function name -> sha256 of its source text}.
+
+    The function-level analogue of :func:`module_fingerprints`: an edit
+    that touches one function changes exactly one entry, which is what
+    the scale benchmark asserts against the build's per-function cache
+    gauges (one changed fingerprint => one function recompiled).
+    """
+    out: Dict[str, Dict[str, str]] = {}
+    for name, text in generate_app(spec).items():
+        out[name] = {
+            fn: hashlib.sha256(text[start:end].encode("utf-8")).hexdigest()
+            for fn, start, end in _function_extents(text)}
+    return out
+
+
+def edit_function(source: str, func_name: str, marker: int = 1) -> str:
+    """Return *source* with one statement added at the top of a function.
+
+    Simulates the paper's developer inner loop — touch one function, hit
+    build — without changing anything else in the module: the inserted
+    ``log(code: ...)`` line alters only ``func_name``'s body, so exactly
+    one function fingerprint (and one function-level cache key) changes.
+    """
+    matches = [m for m in _TOP_LEVEL_FUNC.finditer(source)
+               if m.group(1) == func_name]
+    if len(matches) != 1:
+        raise ValueError(f"expected exactly one definition of {func_name}, "
+                         f"found {len(matches)}")
+    line_end = source.index("\n", matches[0].start())
+    return (source[:line_end]
+            + f"\n    log(code: {marker})"
+            + source[line_end:])

@@ -182,6 +182,15 @@ class TestPoolTeardown:
     run_chunks tears its pool down on every exit path, and the atexit
     sweep catches pools that escape."""
 
+    @pytest.fixture(autouse=True)
+    def _no_persistent_pool(self):
+        # The cross-build persistent pool stays in _LIVE_POOLS by design
+        # (earlier tests may have built under the fast-build preset);
+        # clear it so the zero-live-pools invariant checks only the
+        # per-build pools these tests create.
+        parallel.shutdown_persistent_pool()
+        yield
+
     def test_success_leaves_no_live_pools(self, tmp_path):
         report = BuildReport()
         assert _run(CHUNKS, report=report) == EXPECTED
@@ -272,3 +281,66 @@ class TestPoolTeardown:
                 assert proc.exitcode is not None
         finally:
             signal.signal(signal.SIGTERM, previous)
+
+
+class TestPersistentPool:
+    """The cross-build worker pool: reuse, growth, retirement, shutdown."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_pool(self):
+        parallel.shutdown_persistent_pool()
+        yield
+        parallel.shutdown_persistent_pool()
+
+    def _run_persistent(self, *, workers=2, plan=None, report=None,
+                        max_retries=2):
+        payloads = [{"bias": 0} for _ in CHUNKS]
+        return parallel.run_chunks("square", {"bias": 0}, CHUNKS, workers,
+                                   plan=plan, report=report,
+                                   retry_backoff=0.01,
+                                   max_retries=max_retries,
+                                   persistent=True, chunk_payloads=payloads)
+
+    def test_requires_chunk_payloads(self):
+        with pytest.raises(BuildError):
+            parallel.run_chunks("square", {"bias": 0}, CHUNKS, 2,
+                                persistent=True)
+
+    def test_results_match_per_build_pool(self):
+        assert self._run_persistent() == _run(CHUNKS)
+
+    def test_pool_is_reused_across_runs(self):
+        assert self._run_persistent() == EXPECTED
+        first = parallel._PERSISTENT_POOL
+        assert first is not None
+        assert self._run_persistent() == EXPECTED
+        assert parallel._PERSISTENT_POOL is first
+
+    def test_pool_grows_for_a_bigger_build(self):
+        self._run_persistent(workers=1)
+        small = parallel._PERSISTENT_POOL
+        self._run_persistent(workers=3)
+        assert parallel._PERSISTENT_POOL is not small
+        assert parallel._PERSISTENT_SIZE == 3
+        # ... and a smaller build reuses the bigger pool.
+        self._run_persistent(workers=2)
+        assert parallel._PERSISTENT_SIZE == 3
+
+    def test_crash_retires_the_pool_but_results_survive(self):
+        assert self._run_persistent() == EXPECTED
+        first = parallel._PERSISTENT_POOL
+        report = BuildReport()
+        plan = FaultPlan(seed=11, worker_crash_rate=1.0)
+        assert self._run_persistent(plan=plan, report=report,
+                                    max_retries=1) == EXPECTED
+        assert parallel._PERSISTENT_POOL is not first
+        assert any(e.kind == "worker-crash" for e in report.degradations)
+
+    def test_shutdown_is_idempotent(self):
+        self._run_persistent()
+        parallel.shutdown_persistent_pool()
+        assert parallel._PERSISTENT_POOL is None
+        parallel.shutdown_persistent_pool()  # no-op, no error
+        # The pool comes back on demand.
+        assert self._run_persistent() == EXPECTED
+        assert parallel._PERSISTENT_POOL is not None
