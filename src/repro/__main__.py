@@ -2,6 +2,8 @@
 
     python -m repro build app.sw [--preset min-size|fast-build|balanced]
     python -m repro build app.sw [--rounds 5] [--pipeline wholeprogram]
+    python -m repro build app.sw --target arm64 --target thumb2c
+    python -m repro size app.sw [--json] [--baseline size_baseline.json]
     python -m repro run app.sw [--timing]
     python -m repro patterns app.sw [--top 10]
     python -m repro disasm app.sw [--function NAME]
@@ -83,6 +85,7 @@ def _obs_session(args):
 _CLI_KNOBS = (
     ("pipeline", "pipeline"), ("rounds", "outline_rounds"),
     ("target", "target"), ("merge", "merge_mode"),
+    ("strip", "strip"),
     ("data_layout", "data_layout"), ("layout", "layout"),
     ("layout_seed", "layout_seed"), ("profile_in", "profile_path"),
     ("workers", "workers"), ("incremental", "incremental"),
@@ -91,9 +94,24 @@ _CLI_KNOBS = (
 )
 
 
+def _target_args(args) -> List[str]:
+    """The ``--target`` values (``action="append"`` yields a list)."""
+    value = getattr(args, "target", None)
+    if not value:
+        return []
+    return list(value) if isinstance(value, list) else [value]
+
+
 def _config_from_args(args, knob_table=_CLI_KNOBS):
     from repro.pipeline import BuildConfig
 
+    # Multi---target slicing is handled by cmd_build/cmd_size (which null
+    # out args.target first); everywhere else a single value is required.
+    if isinstance(getattr(args, "target", None), list):
+        if len(args.target) > 1:
+            raise ReproError("this command takes one --target; multi-target "
+                             "slicing is a 'build'/'size' feature")
+        args.target = args.target[0]
     knobs = {config_field: getattr(args, attr)
              for attr, config_field in knob_table
              if getattr(args, attr, None) is not None}
@@ -115,12 +133,27 @@ def _build(args):
     return api.build(_load_sources(args.sources), config), config
 
 
-def cmd_build(args) -> int:
-    with _obs_session(args):
-        result, config = _build(args)
+def _build_sliced(args):
+    """Build for every --target: a sliced multi-target build (one shared
+    frontend) when more than one is given, else the normal single build.
+    Returns ``({target: BuildResult}, config)``."""
+    from repro import api
+
+    targets = _target_args(args)
+    if len(targets) > 1:
+        args.target = None
+        config = _config_from_args(args)
+        results = api.build(_load_sources(args.sources), config,
+                            targets=targets)
+        return results, config
+    result, config = _build(args)
+    return {str(config.target): result}, config
+
+
+def _print_build_summary(name: str, result, config) -> None:
     sizes = result.sizes
     print(f"pipeline:  {config.pipeline}, outline rounds: "
-          f"{config.outline_rounds}, target: {config.target}")
+          f"{config.outline_rounds}, target: {name}")
     print(f"code:      {sizes.text_bytes} bytes ({sizes.num_instrs} instructions)")
     print(f"data:      {sizes.data_bytes} bytes")
     print(f"binary:    {sizes.binary_bytes} bytes ({sizes.num_functions} functions)")
@@ -130,6 +163,54 @@ def cmd_build(args) -> int:
               f"{stat.bytes_saved} bytes saved (cumulative)")
     for line in result.report.summary_lines():
         print(line)
+
+
+def cmd_build(args) -> int:
+    with _obs_session(args):
+        results, config = _build_sliced(args)
+    multi = len(results) > 1
+    for i, (name, result) in enumerate(results.items()):
+        if multi:
+            if i:
+                print()
+            print(f"-- slice {name} " + "-" * max(1, 58 - len(name)))
+        _print_build_summary(name, result, config)
+    return 0
+
+
+def cmd_size(args) -> int:
+    import json
+
+    from repro.link import sizereport
+
+    with _obs_session(args):
+        results, _config = _build_sliced(args)
+    report = sizereport.build_size_report(results)
+    payload = sizereport.canonical_json(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"size report: {args.out}", file=sys.stderr)
+    if args.json:
+        print(payload)
+    else:
+        for line in sizereport.render_report(report):
+            print(line)
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        lines, failures = sizereport.diff_reports(
+            baseline, report, max_text_growth_pct=args.max_text_growth_pct)
+        print(f"baseline:  {args.baseline} "
+              f"(gate: +{args.max_text_growth_pct:g}% __text)")
+        for line in lines:
+            print(f"  {line}")
+        if failures:
+            print(f"error: size regression past the {args.max_text_growth_pct:g}% "
+                  f"gate:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -346,18 +427,27 @@ def _add_build_args(parser) -> None:
     parser.add_argument("--pipeline", default=None,
                         choices=("wholeprogram", "default"))
     from repro.target import available_targets
-    parser.add_argument("--target", default=None,
+    parser.add_argument("--target", default=None, action="append",
                         choices=available_targets(),
                         help="target specification (instruction widths, "
                              "alignment, calling convention); default "
-                             "$REPRO_TARGET or arm64")
-    from repro.pipeline.config import MERGE_MODES
+                             "$REPRO_TARGET or arm64.  'build' and 'size' "
+                             "accept the flag repeatedly for an "
+                             "app-thinning sliced build (one shared "
+                             "frontend, one slice per target)")
+    from repro.pipeline.config import MERGE_MODES, STRIP_MODES
     parser.add_argument("--merge", default=None,
                         choices=MERGE_MODES,
                         help="whole-program function merging: off, exact "
                              "(bit-identical dedup), or optimistic "
                              "(similarity merging with priced thunks); "
                              "default $REPRO_MERGE or off")
+    parser.add_argument("--strip", default=None,
+                        choices=STRIP_MODES,
+                        help="link-time whole-program stripping: remove "
+                             "machine functions unreachable from the entry "
+                             "symbol right before the link (default off; "
+                             "on in the min-size preset)")
     parser.add_argument("--data-layout", default=None,
                         choices=("module-order", "interleaved"))
     from repro.link.funclayout import LAYOUT_MODES
@@ -426,6 +516,23 @@ def main(argv=None) -> int:
                             "counts) of this run for 'build --layout "
                             "callgraph-c3 --profile-in PATH'")
     p_run.set_defaults(func=cmd_run)
+
+    p_size = sub.add_parser("size",
+                            help="per-module size breakdown and the "
+                                 "baseline-diff regression gate")
+    _add_build_args(p_size)
+    p_size.add_argument("--json", action="store_true",
+                        help="print the canonical JSON report instead of "
+                             "the table")
+    p_size.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the canonical JSON report here")
+    p_size.add_argument("--baseline", default=None, metavar="PATH",
+                        help="diff against this committed size-report JSON; "
+                             "exits 1 on __text growth past the gate")
+    p_size.add_argument("--max-text-growth-pct", type=float, default=1.0,
+                        help="per-target __text growth allowed over the "
+                             "baseline before failing (default 1.0)")
+    p_size.set_defaults(func=cmd_size)
 
     p_pat = sub.add_parser("patterns",
                            help="mine repeated machine patterns (§IV)")

@@ -25,10 +25,11 @@ equivalence tests pin that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.errors import ReproError
 from repro.pipeline import BuildConfig, BuildResult, build_program
+from repro.pipeline import build_targets as _build_targets
 from repro.pipeline import run_build as _run_build
 
 __all__ = ["build", "run", "connect", "resolve_config", "RunResult"]
@@ -57,21 +58,35 @@ def resolve_config(config: Optional[BuildConfig] = None,
 def build(sources: Dict[str, str],
           config: Optional[BuildConfig] = None,
           *, preset: Optional[str] = None,
+          targets: Optional[Sequence[str]] = None,
           tracer: Optional[object] = None,
-          **knobs) -> BuildResult:
+          **knobs) -> Union[BuildResult, Dict[str, BuildResult]]:
     """Compile ``sources`` (module name -> Swiftlet text) to a binary.
+
+    With ``targets`` (a sequence of target names), the build is an
+    app-thinning *sliced* build: the target-independent front half runs
+    exactly once and each target gets its own back half; the return value
+    is then ``{target: BuildResult}`` (see
+    :func:`repro.pipeline.build_targets`), each slice bit-identical to a
+    standalone single-target build.
 
     With ``tracer`` (a :class:`repro.obs.Tracer`), the build runs under
     it and ``result.report.phase_wall`` is copied verbatim from the span
     durations — the experiments' only timing source.
     """
     resolved = resolve_config(config, preset, **knobs)
-    if tracer is None:
+
+    def _go():
+        if targets is not None:
+            return _build_targets(sources, targets, resolved)
         return build_program(sources, resolved)
+
+    if tracer is None:
+        return _go()
     from repro.obs import use_tracer
 
     with use_tracer(tracer):
-        return build_program(sources, resolved)
+        return _go()
 
 
 @dataclass

@@ -20,8 +20,8 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
-from repro.isa.encoding import FUNCTION_METADATA_BYTES
 from repro.isa.instructions import INSTR_BYTES, MachineFunction, MachineGlobal, MachineInstr
+from repro.target.arm64 import ARM64
 from repro.runtime import layout
 
 TEXT_BASE = 0x1_0000_0000
@@ -71,7 +71,7 @@ class BinaryImage:
     #: Function-start alignment padding the linker inserted into __text.
     alignment_padding_bytes: int = 0
     #: Per-function metadata bytes (symbol table entry + unwind info).
-    metadata_bytes_per_function: int = FUNCTION_METADATA_BYTES
+    metadata_bytes_per_function: int = ARM64.function_metadata_bytes
 
     # -- size accounting (what Figure 12 plots) ------------------------------
 

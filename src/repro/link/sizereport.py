@@ -1,0 +1,189 @@
+"""Per-build size breakdown and the baseline-diff regression gate.
+
+This is the reproduction of the bundle-size monitoring workflow the
+production iOS apps run (SNIPPETS.md snippet 2): every build can emit a
+canonical per-module, per-target breakdown of where the binary's bytes
+live — text, outlined text, alignment padding, per-function metadata,
+data — and CI diffs it against a committed baseline, failing on text
+growth past a threshold.
+
+Everything is computed from the linked :class:`~repro.link.binary.BinaryImage`
+(the artifact whose bytes actually ship), not from intermediate IR:
+
+* per-module __text bytes come from the function extents, split into
+  regular vs outlined functions;
+* alignment padding is attributed to the function (hence module) whose
+  start forced it, and the per-module paddings sum exactly to
+  ``image.alignment_padding_bytes``;
+* metadata is ``metadata_bytes_per_function`` per function;
+* data is the module's __data extent span (equal to its exact data size
+  under the default module-order layout).
+
+The JSON shape (schema ``size-report/1``) is canonical — sorted keys,
+stable field set — so two reports diff textually and a committed baseline
+stays reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.link.binary import BinaryImage
+
+#: Schema tag stamped into every report.
+SCHEMA = "size-report/1"
+
+#: Per-module/total byte categories, in render order.
+_CATEGORIES = ("text_bytes", "outlined_bytes", "padding_bytes",
+               "metadata_bytes", "data_bytes")
+
+
+def module_breakdown(image: BinaryImage) -> Dict[str, Dict[str, int]]:
+    """Byte accounting per source module, from the linked image.
+
+    Invariant (asserted by the unit tests): summing ``text_bytes +
+    outlined_bytes + padding_bytes`` over all modules equals
+    ``image.text_bytes``, and the paddings sum to
+    ``image.alignment_padding_bytes``.
+    """
+    rows: Dict[str, Dict[str, int]] = {}
+
+    def row(module: str) -> Dict[str, int]:
+        if module not in rows:
+            rows[module] = {name: 0 for name in _CATEGORIES}
+            rows[module]["functions"] = 0
+            rows[module]["outlined_functions"] = 0
+        return rows[module]
+
+    prev_end = image.text_base
+    for ext in image.functions:
+        r = row(ext.source_module or "?")
+        r["padding_bytes"] += ext.start - prev_end
+        size = ext.end - ext.start
+        if ext.is_outlined:
+            r["outlined_bytes"] += size
+            r["outlined_functions"] += 1
+        else:
+            r["text_bytes"] += size
+        r["functions"] += 1
+        r["metadata_bytes"] += image.metadata_bytes_per_function
+        prev_end = ext.end
+    for module, (lo, hi) in image.data_extent_of_module.items():
+        row(module)["data_bytes"] += hi - lo
+    return {name: rows[name] for name in sorted(rows)}
+
+
+def target_summary(image: BinaryImage) -> Dict[str, int]:
+    """Whole-image totals for one target slice."""
+    outlined = sum(ext.end - ext.start
+                   for ext in image.functions if ext.is_outlined)
+    return {
+        "text_bytes": (image.text_bytes - outlined
+                       - image.alignment_padding_bytes),
+        "outlined_bytes": outlined,
+        "padding_bytes": image.alignment_padding_bytes,
+        "metadata_bytes": image.metadata_bytes,
+        "data_bytes": image.data_bytes,
+        "total_text_bytes": image.text_bytes,
+        "binary_bytes": image.binary_bytes,
+        "functions": image.num_functions,
+        "outlined_functions": sum(1 for ext in image.functions
+                                  if ext.is_outlined),
+    }
+
+
+def build_size_report(results: Dict[str, object]) -> Dict[str, object]:
+    """The canonical report for one (possibly sliced) build.
+
+    *results* maps target name -> :class:`~repro.pipeline.BuildResult`
+    (the shape :func:`repro.pipeline.build_targets` returns; wrap a
+    single result as ``{result.config.target: result}``).  Strip totals
+    ride along from each slice's :class:`~repro.pipeline.BuildReport`.
+    """
+    targets: Dict[str, object] = {}
+    for name in sorted(results):
+        result = results[name]
+        summary = target_summary(result.image)
+        summary["stripped_functions"] = result.report.stripped_functions
+        summary["stripped_bytes"] = result.report.stripped_bytes
+        targets[name] = {
+            "totals": summary,
+            "modules": module_breakdown(result.image),
+        }
+    return {"schema": SCHEMA, "targets": targets}
+
+
+def canonical_json(report: Dict[str, object]) -> str:
+    """Byte-stable serialization: sorted keys, fixed separators."""
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def render_report(report: Dict[str, object]) -> List[str]:
+    """Human-readable rendering (the default ``repro size`` output)."""
+    lines: List[str] = []
+    for target, payload in report.get("targets", {}).items():
+        totals = payload["totals"]
+        lines.append(f"target {target}:")
+        lines.append(
+            f"  text {totals['text_bytes']}B + outlined "
+            f"{totals['outlined_bytes']}B + padding "
+            f"{totals['padding_bytes']}B = __text "
+            f"{totals['total_text_bytes']}B; data {totals['data_bytes']}B, "
+            f"metadata {totals['metadata_bytes']}B, binary "
+            f"{totals['binary_bytes']}B")
+        if totals.get("stripped_functions"):
+            lines.append(f"  stripped {totals['stripped_functions']} "
+                         f"function(s) / {totals['stripped_bytes']}B at link")
+        header = (f"  {'module':<16} {'text':>8} {'outlined':>9} "
+                  f"{'padding':>8} {'metadata':>9} {'data':>8} {'fns':>5}")
+        lines.append(header)
+        for module, r in payload["modules"].items():
+            lines.append(f"  {module:<16} {r['text_bytes']:>8} "
+                         f"{r['outlined_bytes']:>9} {r['padding_bytes']:>8} "
+                         f"{r['metadata_bytes']:>9} {r['data_bytes']:>8} "
+                         f"{r['functions']:>5}")
+    return lines
+
+
+def diff_reports(baseline: Dict[str, object],
+                 current: Dict[str, object],
+                 max_text_growth_pct: float = 1.0
+                 ) -> Tuple[List[str], List[str]]:
+    """Compare two reports; returns ``(lines, failures)``.
+
+    The gate is on ``total_text_bytes`` per target (the number the paper
+    optimizes): growth beyond *max_text_growth_pct* percent over the
+    baseline is a failure.  Targets present on only one side are reported
+    but do not fail — adding a slice is not a regression.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    base_targets = baseline.get("targets", {})
+    cur_targets = current.get("targets", {})
+    for target in sorted(set(base_targets) | set(cur_targets)):
+        if target not in base_targets:
+            lines.append(f"{target}: new target (no baseline)")
+            continue
+        if target not in cur_targets:
+            lines.append(f"{target}: removed (was in baseline)")
+            continue
+        base = base_targets[target]["totals"]
+        cur = cur_targets[target]["totals"]
+        before = int(base["total_text_bytes"])
+        after = int(cur["total_text_bytes"])
+        delta = after - before
+        pct = (100.0 * delta / before) if before else 0.0
+        verdict = "ok"
+        if before and pct > max_text_growth_pct:
+            verdict = f"FAIL (> {max_text_growth_pct:g}% growth)"
+            failures.append(
+                f"{target}: __text grew {delta:+d}B ({pct:+.2f}%), limit "
+                f"{max_text_growth_pct:g}%")
+        lines.append(f"{target}: __text {before}B -> {after}B "
+                     f"({delta:+d}B, {pct:+.2f}%) {verdict}")
+        for key in ("data_bytes", "metadata_bytes", "binary_bytes"):
+            b, c = int(base.get(key, 0)), int(cur.get(key, 0))
+            if b != c:
+                lines.append(f"{target}:   {key} {b}B -> {c}B ({c - b:+d}B)")
+    return lines, failures

@@ -2,9 +2,13 @@
 
 from repro.pipeline.build import (
     BuildResult,
+    ProgramArtifact,
     SizeReport,
     build_lir_modules,
     build_program,
+    build_targets,
+    compile_backend,
+    compile_frontend,
     frontend_to_lir,
     run_build,
 )
@@ -24,9 +28,13 @@ __all__ = [
     "FaultPlan",
     "ModuleCache",
     "PIPELINE_CACHE_VERSION",
+    "ProgramArtifact",
     "SizeReport",
     "build_lir_modules",
     "build_program",
+    "build_targets",
+    "compile_backend",
+    "compile_frontend",
     "frontend_to_lir",
     "run_build",
 ]

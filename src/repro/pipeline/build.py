@@ -22,7 +22,9 @@ harness under ``tests/property`` enforces it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import pickle
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.backend.llc import LLCOptions, run_llc
@@ -207,6 +209,59 @@ def _note_merge_stats(result: "BuildResult", config: BuildConfig,
         report.merge_stats = dict(stats)
 
 
+def _note_strip_stats(result: "BuildResult", config: BuildConfig,
+                      report: BuildReport) -> None:
+    """Copy the strip-stage pass report into the build report (the image
+    cache stores it in ``pass_reports``, so a warm hit re-renders the
+    same ``strip:`` summary line as the build that populated it)."""
+    report.strip_mode = config.strip
+    stats = result.pass_reports.get("strip")
+    if isinstance(stats, dict):
+        report.stripped_functions = int(stats.get("functions_removed", 0))
+        report.stripped_bytes = int(stats.get("bytes_removed", 0))
+        per = stats.get("per_module")
+        if isinstance(per, dict):
+            report.strip_stats = {str(name): dict(counts)
+                                  for name, counts in per.items()}
+
+
+def _strip_stage(result: "BuildResult", config: BuildConfig,
+                 report: BuildReport, entry: Optional[str]) -> None:
+    """Link-time whole-program stripping (``BuildConfig.strip``).
+
+    Runs on the assembled machine modules in both pipeline shapes, right
+    before the system link — the one point where every function that will
+    reach __text (including outlined bodies and merge thunks) exists and
+    nothing has been laid out yet.
+    """
+    from repro.pipeline.config import STRIP_MODES
+
+    if config.strip not in STRIP_MODES:
+        raise ReproError(f"unknown strip mode {config.strip!r}; "
+                         f"expected one of: {', '.join(STRIP_MODES)}")
+    report.strip_mode = config.strip
+    if config.strip == "off":
+        return
+    from repro.lir.passes import globaldce
+    from repro.target import get_target
+
+    with report.phase("strip"):
+        stats = globaldce.strip_program(result.machine_modules, entry,
+                                        get_target(config.target))
+    result.pass_reports["strip"] = {
+        "functions_removed": stats.functions_removed,
+        "bytes_removed": stats.bytes_removed,
+        "per_module": {name: dict(counts)
+                       for name, counts in stats.per_module.items()},
+    }
+    _note_strip_stats(result, config, report)
+    metrics = obs_trace.metrics()
+    if metrics.enabled:
+        metrics.set_gauge("strip.functions_removed", stats.functions_removed)
+        metrics.set_gauge("strip.bytes_removed", stats.bytes_removed)
+        metrics.set_gauge("strip.modules_touched", len(stats.per_module))
+
+
 def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
                       config: BuildConfig,
                       registry: Optional[TypeRegistry] = None,
@@ -337,6 +392,7 @@ def build_lir_modules(lir_modules: List[lir_ir.LIRModule],
     else:
         raise ReproError(f"unknown pipeline {config.pipeline!r}")
     checkpoint(config.cancel_scope, "link")
+    _strip_stage(result, config, report, entry)
     layout_profile = None
     if config.profile_path is not None:
         # Typed ProfileError on junk; loaded once here so the linker (which
@@ -677,55 +733,56 @@ def _record_size_metrics(result: BuildResult) -> None:
     metrics.set_gauge("image.num_instrs", sizes.num_instrs)
 
 
-def _build_program(items: List[Tuple[str, str]],
-                   config: BuildConfig) -> BuildResult:
-    report = BuildReport(num_modules=len(items),
-                         workers=parallel.resolve_workers(config.workers),
-                         cache_enabled=config.incremental,
-                         target=str(config.target),
-                         merge_mode=config.merge_mode)
-    cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
-             if config.incremental else None)
+def _fresh_report(num_modules: int, config: BuildConfig) -> BuildReport:
+    return BuildReport(num_modules=num_modules,
+                       workers=parallel.resolve_workers(config.workers),
+                       cache_enabled=config.incremental,
+                       target=str(config.target),
+                       merge_mode=config.merge_mode)
 
-    checkpoint(config.cancel_scope, "frontend")
-    probe = img_key = None
-    if cache is not None:
-        # Probe the whole-image entry *before* loading any per-module LIR:
-        # its key needs only source hashes and metas, so a fully-warm
-        # rebuild costs hashing + one image load, not O(modules) pickles.
-        probe = _probe_modules(items, config, cache, report)
-        img_key = cache_mod.image_key(probe.keys,
-                                      config.backend_fingerprint())
-        entry = cache.load(img_key)
-        mm_key = cache_mod.machine_modules_key(img_key)
-        if _valid_image_entry(entry) and cache.contains(mm_key):
-            # A cache-restored image gets re-verified every time: the
-            # pickle on disk, not the linker's output, is what a torn
-            # write or bit flip would have damaged.
-            _verify(entry["image"], config, report)
-            report.image_cache_hit = True
-            # The image key covers every module key, so each module is
-            # warm by construction.
-            report.cache_hits = len(items)
-            report.cache_misses = 0
-            registry = TypeRegistry()
-            for layout in entry["layouts"]:
-                registry.register(layout)
-            _note_cache_recoveries(cache, report)
-            _record_cache_metrics(cache, report)
-            cached_result = BuildResult(
-                image=entry["image"], program=None,
-                registry=registry, config=config,
-                machine_modules=_machine_modules_loader(cache, mm_key),
-                outline_stats=entry.get("outline_stats", []),
-                pass_reports=entry.get("pass_reports", {}),
-                phase_work=entry.get("phase_work", {}),
-                report=report)
-            _note_merge_stats(cached_result, config, report)
-            return cached_result
 
-    fe = _frontend(items, config, cache, report, probe=probe)
+def _image_cache_probe(num_modules: int, config: BuildConfig,
+                       cache: ModuleCache, report: BuildReport,
+                       img_key: str) -> Optional[BuildResult]:
+    """The warm whole-image fast path: a valid image entry (plus its
+    machine-listing sidecar) short-circuits the entire build."""
+    entry = cache.load(img_key)
+    mm_key = cache_mod.machine_modules_key(img_key)
+    if not (_valid_image_entry(entry) and cache.contains(mm_key)):
+        return None
+    # A cache-restored image gets re-verified every time: the pickle on
+    # disk, not the linker's output, is what a torn write or bit flip
+    # would have damaged.
+    _verify(entry["image"], config, report)
+    report.image_cache_hit = True
+    # The image key covers every module key, so each module is warm by
+    # construction.
+    report.cache_hits = num_modules
+    report.cache_misses = 0
+    registry = TypeRegistry()
+    for layout in entry["layouts"]:
+        registry.register(layout)
+    _note_cache_recoveries(cache, report)
+    _record_cache_metrics(cache, report)
+    cached_result = BuildResult(
+        image=entry["image"], program=None,
+        registry=registry, config=config,
+        machine_modules=_machine_modules_loader(cache, mm_key),
+        outline_stats=entry.get("outline_stats", []),
+        pass_reports=entry.get("pass_reports", {}),
+        phase_work=entry.get("phase_work", {}),
+        report=report)
+    _note_merge_stats(cached_result, config, report)
+    _note_strip_stats(cached_result, config, report)
+    return cached_result
 
+
+def _backend_from_frontend(fe: _FrontendOutput, config: BuildConfig,
+                           cache: Optional[ModuleCache],
+                           report: BuildReport,
+                           img_key: Optional[str]) -> BuildResult:
+    """The per-target back half: target LIR passes, isel/regalloc via llc,
+    outlining, strip, layout, link, verify, image-cache store."""
     llc_bases = fe.module_keys
     if fe.module_keys is not None and fe.llc_base_keys is not None:
         # Prefer the content identity; a module with no recorded content
@@ -758,6 +815,258 @@ def _build_program(items: List[Tuple[str, str]],
         _note_cache_recoveries(cache, report)
     _record_cache_metrics(cache, report)
     return result
+
+
+def _build_program(items: List[Tuple[str, str]],
+                   config: BuildConfig) -> BuildResult:
+    report = _fresh_report(len(items), config)
+    cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
+             if config.incremental else None)
+
+    checkpoint(config.cancel_scope, "frontend")
+    probe = img_key = None
+    if cache is not None:
+        # Probe the whole-image entry *before* loading any per-module LIR:
+        # its key needs only source hashes and metas, so a fully-warm
+        # rebuild costs hashing + one image load, not O(modules) pickles.
+        probe = _probe_modules(items, config, cache, report)
+        img_key = cache_mod.image_key(probe.keys,
+                                      config.backend_fingerprint())
+        hit = _image_cache_probe(len(items), config, cache, report, img_key)
+        if hit is not None:
+            return hit
+
+    fe = _frontend(items, config, cache, report, probe=probe)
+    return _backend_from_frontend(fe, config, cache, report, img_key)
+
+
+# --- the frontend/backend seam and app-thinning slicing ----------------------
+
+
+@dataclass
+class ProgramArtifact:
+    """The serializable seam between the two pipeline halves.
+
+    Everything the target-independent front half produced (parse -> sema
+    -> SILGen -> SIL passes -> IRGen -> per-module -Osize LIR cleanups),
+    content-addressed by :attr:`fingerprint` — a digest of the source
+    identities plus :meth:`BuildConfig.frontend_fingerprint`, so two
+    artifacts with equal fingerprints are interchangeable.
+
+    One artifact feeds N per-target back halves
+    (:func:`compile_backend`); the backend mutates LIR in place
+    (inlining, merging, llvm-link), so each consumer gets its own deep
+    copy via :meth:`lir_copy` and the artifact itself stays pristine.
+    """
+
+    lir_modules: List[lir_ir.LIRModule]
+    program: Optional[ProgramInfo]
+    registry: TypeRegistry
+    #: Content identity: source hashes + frontend fingerprint.
+    fingerprint: str
+    #: Per-module cache keys (None when caching was off; lets the backend
+    #: reuse the llc and image caches exactly like a one-shot build).
+    module_keys: Optional[List[str]] = None
+    llc_base_keys: Optional[List[Optional[str]]] = None
+    #: Frontend phase walls and cache telemetry, copied into every
+    #: consuming backend's report.
+    frontend_report: BuildReport = field(default_factory=BuildReport)
+
+    def lir_copy(self) -> List[lir_ir.LIRModule]:
+        """A deep copy of the LIR for one backend consumer.
+
+        The pickle round trip is the same mechanism the module cache
+        uses, which the determinism harness pins bit-identical to
+        consuming freshly lowered LIR.
+        """
+        return pickle.loads(pickle.dumps(self.lir_modules))
+
+
+def _artifact_fingerprint(items: List[Tuple[str, str]],
+                          config: BuildConfig) -> str:
+    h = hashlib.sha256()
+    h.update(config.frontend_fingerprint().encode("utf-8"))
+    h.update(b"|coupling=%d|" % int(config.enable_sil_outlining))
+    for name, text in items:
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(cache_mod.fingerprint_source(text).encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _items(sources: SourceModules) -> List[Tuple[str, str]]:
+    return (list(sources.items()) if isinstance(sources, dict)
+            else [(name, text) for name, text in sources])
+
+
+def compile_frontend(sources: SourceModules,
+                     config: Optional[BuildConfig] = None) -> ProgramArtifact:
+    """Run the target-independent front half once, to a reusable artifact.
+
+    Honours the same cache and worker knobs as :func:`build_program`
+    (``config.target`` is irrelevant here — nothing in the front half
+    consults it, which is what makes the artifact shareable across
+    targets).
+    """
+    config = config or BuildConfig()
+    items = _items(sources)
+    report = _fresh_report(len(items), config)
+    report.target = ""
+    cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
+             if config.incremental else None)
+    checkpoint(config.cancel_scope, "frontend")
+    with obs_trace.span("frontend", kind="build", num_modules=len(items)):
+        fe = _frontend(items, config, cache, report)
+    return ProgramArtifact(
+        lir_modules=fe.lir_modules, program=fe.program, registry=fe.registry,
+        fingerprint=_artifact_fingerprint(items, config),
+        module_keys=fe.module_keys, llc_base_keys=fe.llc_base_keys,
+        frontend_report=report)
+
+
+def compile_backend(artifact: ProgramArtifact,
+                    config: Optional[BuildConfig] = None) -> BuildResult:
+    """Consume a :class:`ProgramArtifact` through one target's back half.
+
+    The artifact is never mutated — call this once per target.  With
+    ``config.incremental`` and an artifact built with caching on, the
+    per-target image and llc caches work exactly as in a one-shot build
+    (a warm target skips its backend entirely).
+    """
+    config = config or BuildConfig()
+    report = BuildReport.from_dict(artifact.frontend_report.as_dict())
+    report.target = str(config.target)
+    report.merge_mode = config.merge_mode
+    report.workers = parallel.resolve_workers(config.workers)
+    report.cache_enabled = config.incremental
+    cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
+             if config.incremental else None)
+    img_key = None
+    with obs_trace.span("backend", kind="build", target=config.target):
+        if cache is not None and artifact.module_keys is not None:
+            img_key = cache_mod.image_key(artifact.module_keys,
+                                          config.backend_fingerprint())
+            hit = _image_cache_probe(len(artifact.lir_modules), config,
+                                     cache, report, img_key)
+            if hit is not None:
+                _record_size_metrics(hit)
+                return hit
+        fe = _FrontendOutput(
+            lir_modules=artifact.lir_copy(), program=artifact.program,
+            registry=artifact.registry, module_keys=artifact.module_keys,
+            llc_base_keys=artifact.llc_base_keys)
+        checkpoint(config.cancel_scope, "backend")
+        result = _backend_from_frontend(fe, config, cache, report, img_key)
+    _record_size_metrics(result)
+    return result
+
+
+#: BuildReport fields the pending slices copy from the shared frontend run
+#: (phase walls are merged separately).
+_FRONTEND_REPORT_FIELDS = (
+    "cache_hits", "cache_misses", "cache_stores", "fn_cache_hits",
+    "fn_cache_misses", "functions_recompiled",
+)
+
+
+def build_targets(sources: SourceModules,
+                  targets: Sequence[str],
+                  config: Optional[BuildConfig] = None
+                  ) -> Dict[str, BuildResult]:
+    """App-thinning slicing: one frontend invocation, one slice per target.
+
+    Returns ``{target name: BuildResult}`` in the order given.  The front
+    half (parse -> sema -> SILGen -> SIL passes -> IRGen -> -Osize LIR)
+    runs **exactly once**; each target then consumes its own deep copy of
+    the LIR through the back half, so every slice is bit-identical to a
+    standalone single-target build (the slicing tests pin this from trace
+    spans and golden fixtures).  ``config.target`` is ignored in favour
+    of *targets*; all other knobs apply to every slice.
+
+    With caching on, each slice probes its own whole-image entry first —
+    a fully warm multi-target build never runs the frontend at all.
+    """
+    config = config or BuildConfig()
+    names = list(targets)
+    if not names:
+        raise ReproError("build_targets needs at least one target")
+    if len(set(names)) != len(names):
+        raise ReproError(f"duplicate targets: {', '.join(names)}")
+    from repro.target import available_targets
+
+    unknown = [n for n in names if n not in available_targets()]
+    if unknown:
+        raise ReproError(
+            f"unknown target(s): {', '.join(unknown)} (available: "
+            f"{', '.join(available_targets())})")
+    items = _items(sources)
+    configs = {name: (config if name == config.target
+                      else replace(config, target=name))
+               for name in names}
+    reports = {name: _fresh_report(len(items), configs[name])
+               for name in names}
+    results: Dict[str, BuildResult] = {}
+    with obs_trace.span("build-sliced", kind="build", num_modules=len(items),
+                        targets=",".join(names),
+                        pipeline=config.pipeline,
+                        outline_rounds=config.outline_rounds):
+        cache = (ModuleCache(config.cache_dir, fault_plan=config.fault_plan)
+                 if config.incremental else None)
+        checkpoint(config.cancel_scope, "frontend")
+        probe = None
+        img_keys: Dict[str, str] = {}
+        if cache is not None:
+            # One probe serves every slice: module keys depend only on
+            # sources and the frontend fingerprint, never the target.
+            probe = _probe_modules(items, config, cache, reports[names[0]])
+            for name in names:
+                img_keys[name] = cache_mod.image_key(
+                    probe.keys, configs[name].backend_fingerprint())
+        pending = []
+        for name in names:
+            if cache is not None:
+                hit = _image_cache_probe(len(items), configs[name], cache,
+                                         reports[name], img_keys[name])
+                if hit is not None:
+                    results[name] = hit
+                    continue
+            pending.append(name)
+        if pending:
+            first = pending[0]
+            fe_report = reports[first]
+            with obs_trace.span("frontend", kind="build",
+                                num_modules=len(items)):
+                fe = _frontend(items, configs[first], cache, fe_report,
+                               probe=probe)
+            for name in pending[1:]:
+                rep = reports[name]
+                rep.phase_wall.update(fe_report.phase_wall)
+                for fld in _FRONTEND_REPORT_FIELDS:
+                    setattr(rep, fld, getattr(fe_report, fld))
+                rep.note(f"frontend shared with target {first}")
+            # Each slice's backend mutates LIR in place; serialize once,
+            # give every slice after the first its own deep copy (the
+            # first consumes the originals, exactly like a single-target
+            # build).
+            payloads = {first: fe.lir_modules}
+            if len(pending) > 1:
+                blob = pickle.dumps(fe.lir_modules)
+                for name in pending[1:]:
+                    payloads[name] = pickle.loads(blob)
+            for name in pending:
+                fe_t = _FrontendOutput(
+                    lir_modules=payloads[name], program=fe.program,
+                    registry=fe.registry, module_keys=fe.module_keys,
+                    llc_base_keys=fe.llc_base_keys)
+                checkpoint(config.cancel_scope, f"backend:{name}")
+                with obs_trace.span("backend", kind="build", target=name):
+                    results[name] = _backend_from_frontend(
+                        fe_t, configs[name], cache, reports[name],
+                        img_keys.get(name))
+        for name in names:
+            _record_size_metrics(results[name])
+    return {name: results[name] for name in names}
 
 
 def _verify(image: BinaryImage, config: BuildConfig,

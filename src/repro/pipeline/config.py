@@ -46,6 +46,9 @@ from repro.target import default_target_name
 #: Valid whole-program function-merging modes.
 MERGE_MODES = ("off", "exact", "optimistic")
 
+#: Valid link-time stripping modes.
+STRIP_MODES = ("off", "program")
+
 #: The one environment-default table (see the module docstring):
 #: variable -> BuildConfig field it defaults.
 ENV_DEFAULTS = {
@@ -111,7 +114,18 @@ class BuildConfig:
     #: Defaults to ``$REPRO_MERGE`` or "off".
     merge_mode: str = field(default_factory=default_merge_mode)
     #: Strip functions unreachable from the entry point (app builds).
+    #: Runs as an early LIR pass over the merged IR (whole-program
+    #: pipeline only); see ``strip`` for the link-time machine-level
+    #: equivalent that works in both pipeline shapes.
     global_dce: bool = True
+    #: Link-time whole-program stripping: "off" or "program" (remove
+    #: machine functions unreachable from the entry symbol through calls
+    #: and address-taken references, right before the system link).
+    #: Works in both pipeline shapes and sees the *final* machine code —
+    #: including outlined and merged functions — so it catches dead code
+    #: the early LIR pass cannot (see
+    #: :func:`repro.lir.passes.globaldce.strip_program`).
+    strip: str = "off"
     #: Collect per-round outlining statistics (Table II).
     collect_outline_stats: bool = True
     #: Text layout of outlined functions: "appended" (what the paper
@@ -200,6 +214,7 @@ class BuildConfig:
                 f"mergemode={self.merge_mode};"
                 f"fmsa={int(self.enable_fmsa)};"
                 f"gdce={int(self.global_dce)};"
+                f"strip={self.strip};"
                 f"stats={int(self.collect_outline_stats)};"
                 f"outlayout={self.outlined_layout};"
                 f"inline={int(self.enable_inliner)};"
@@ -266,8 +281,11 @@ class BuildConfig:
 #:
 #: ``min-size``
 #:     What the paper shipped, plus the stacked optimistic merger: the
-#:     whole-program pipeline, five outlining rounds, global DCE.
-#:     Slowest builds, smallest binaries.
+#:     whole-program pipeline, five outlining rounds, and link-time
+#:     whole-program stripping (``strip="program"`` replaces the early
+#:     LIR ``global_dce`` pass — stripping the *final* machine code also
+#:     removes outlined/merged bodies orphaned by later passes, which
+#:     the early pass can never see).  Slowest builds, smallest binaries.
 #: ``fast-build``
 #:     Inner-loop iteration: the per-module (Figure 2) pipeline with one
 #:     outlining round, function-level incremental caching, auto worker
@@ -281,7 +299,8 @@ PRESETS: Dict[str, Dict[str, object]] = {
         "pipeline": "wholeprogram",
         "outline_rounds": 5,
         "merge_mode": "optimistic",
-        "global_dce": True,
+        "global_dce": False,
+        "strip": "program",
     },
     "fast-build": {
         "pipeline": "default",

@@ -73,6 +73,14 @@ class BuildReport:
     #: Merge-stage pass report (empty when ``merge_mode`` is "off"):
     #: functions_merged / thunks_created / bytes_saved / ...
     merge_stats: Dict[str, int] = field(default_factory=dict)
+    #: Link-time whole-program stripping mode ("off"/"program").
+    strip_mode: str = "off"
+    #: Totals removed by link-time stripping (0 when ``strip`` is off).
+    stripped_functions: int = 0
+    stripped_bytes: int = 0
+    #: Per-module strip outcomes: module -> {"functions": n, "bytes": b}
+    #: (only modules that lost at least one function appear).
+    strip_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: Worker processes used for the parallel frontend (1 = serial).
     workers: int = 1
     #: Whether the content-addressed cache was consulted.
@@ -164,6 +172,11 @@ class BuildReport:
             "target": self.target,
             "merge_mode": self.merge_mode,
             "merge_stats": dict(self.merge_stats),
+            "strip_mode": self.strip_mode,
+            "stripped_functions": self.stripped_functions,
+            "stripped_bytes": self.stripped_bytes,
+            "strip_stats": {name: dict(counts)
+                            for name, counts in self.strip_stats.items()},
             "workers": self.workers,
             "cache_enabled": self.cache_enabled,
             "cache_hits": self.cache_hits,
@@ -190,6 +203,13 @@ class BuildReport:
             target=str(data.get("target", "")),
             merge_mode=str(data.get("merge_mode", "off")),
             merge_stats=dict(data.get("merge_stats") or {}),
+            strip_mode=str(data.get("strip_mode", "off")),
+            stripped_functions=int(data.get("stripped_functions", 0)),
+            stripped_bytes=int(data.get("stripped_bytes", 0)),
+            strip_stats={str(name): {str(k): int(v)
+                                     for k, v in (counts or {}).items()}
+                         for name, counts in
+                         (data.get("strip_stats") or {}).items()},
             workers=int(data.get("workers", 1)),
             cache_enabled=bool(data.get("cache_enabled", False)),
             cache_hits=int(data.get("cache_hits", 0)),
@@ -247,6 +267,11 @@ class BuildReport:
             if saved:
                 detail += f", ~{saved}B saved"
             lines.append(f"merge:     {detail}")
+        if self.strip_mode != "off":
+            lines.append(f"strip:     {self.strip_mode}, "
+                         f"{self.stripped_functions} function(s) / "
+                         f"{self.stripped_bytes}B removed at link "
+                         f"({len(self.strip_stats)} module(s))")
         if self.phase_wall:
             parts = ", ".join(f"{name} {secs * 1000:.0f}ms"
                               for name, secs in self.phase_wall.items())

@@ -25,7 +25,7 @@ from typing import Dict, Optional
 
 from repro import errors as errors_mod
 from repro.errors import ProtocolError, ReproError, ServiceError
-from repro.pipeline.config import BuildConfig
+from repro.pipeline.config import SPEED_FIELDS, BuildConfig, config_fields
 
 #: Protocol revision; bumped on incompatible frame-shape changes.
 PROTOCOL_VERSION = 1
@@ -122,28 +122,25 @@ def wire_to_error(payload: Dict[str, object]) -> ReproError:
 
 # --- build-config subset on the wire -----------------------------------------
 
+#: Fingerprinted fields that nonetheless must NOT travel the wire, with
+#: the reason each is excluded.  Everything listed here is re-audited by
+#: the protocol tests: a field may only appear if it is still a real
+#: BuildConfig field.
+CONFIG_WIRE_EXCLUDED = {
+    # A local filesystem path — a remote daemon must never open
+    # client-named files; ship the profile *content* in a future field.
+    "profile_path",
+}
+
 #: Fields a client may set: they define the artifact, not the machinery.
-CONFIG_WIRE_FIELDS = (
-    "pipeline",
-    "target",
-    "outline_rounds",
-    "data_layout",
-    "gc_metadata_mode",
-    "enable_sil_outlining",
-    "enable_merge_functions",
-    "enable_fmsa",
-    "enable_arc_opt",
-    "merge_mode",
-    "global_dce",
-    "collect_outline_stats",
-    "outlined_layout",
-    "enable_inliner",
-    # funclayout: mode and seed travel the wire; profile_path deliberately
-    # does NOT (it is a local filesystem path — a remote daemon must never
-    # open client-named files; ship the profile content in a future field).
-    "layout",
-    "layout_seed",
-    "verify_image",
+#: Derived from the config-field partition rather than hand-maintained:
+#: every BuildConfig field that enters a fingerprint (i.e. is not a
+#: build-speed/robustness knob in SPEED_FIELDS) is wire-settable unless
+#: explicitly excluded above.  Adding a new artifact-defining knob to
+#: BuildConfig therefore makes it wire-round-trippable automatically.
+CONFIG_WIRE_FIELDS = tuple(
+    name for name in config_fields()
+    if name not in SPEED_FIELDS and name not in CONFIG_WIRE_EXCLUDED
 )
 
 

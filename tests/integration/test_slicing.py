@@ -1,0 +1,288 @@
+"""App-thinning slicing: one frontend, per-target backends, size reports.
+
+Pins the PR-10 tentpole contract:
+
+* a two-target sliced build runs parse/sema/silgen exactly once
+  (asserted from tracer span counts, the only timing-free evidence);
+* every slice is bit-identical to a standalone single-target build;
+* the ``compile_frontend`` / ``compile_backend`` seam composes to the
+  same bytes as the fused ``build_program``;
+* a fully warm sliced build never re-runs the frontend (image-cache
+  hits on every slice);
+* the CLI surfaces (``build --target a --target b``, ``size``) and the
+  baseline-diff gate behave.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro import api
+from repro.errors import ReproError
+from repro.link import sizereport
+from repro.obs import Tracer, use_tracer
+from repro.pipeline import (
+    BuildConfig,
+    build_program,
+    build_targets,
+    compile_backend,
+    compile_frontend,
+)
+from repro.pipeline.build import run_build
+
+SOURCES = {
+    "Lib": """
+func scale(x: Int) -> Int { return x * 7 }
+func helper(x: Int) -> Int { return scale(x: x) + 1 }
+func unused(x: Int) -> Int { return x - 2 }
+""",
+    "Main": """
+import Lib
+func main() {
+    var total = 0
+    for i in 0..<5 { total += helper(x: i) }
+    print(total)
+}
+""",
+}
+
+TARGETS = ["arm64", "thumb2c"]
+
+
+def _sha(image) -> str:
+    return (hashlib.sha256(image.text_section()).hexdigest(),
+            hashlib.sha256(image.data_section()).hexdigest())
+
+
+def _span_counts(tracer):
+    counts = {}
+    for root in tracer.roots:
+        for span in root.walk():
+            counts[span.name] = counts.get(span.name, 0) + 1
+    return counts
+
+
+class TestSlicedBuild:
+    def test_frontend_runs_once_and_slices_are_bit_identical(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            results = build_targets(SOURCES, TARGETS,
+                                    BuildConfig(outline_rounds=2))
+        counts = _span_counts(tracer)
+        # The target-independent front half ran exactly once for two
+        # targets; each target got its own backend.
+        for phase in ("parse", "sema", "silgen", "frontend"):
+            assert counts.get(phase) == 1, (phase, counts)
+        assert counts.get("backend") == 2
+        assert counts.get("build-sliced") == 1
+
+        assert list(results) == TARGETS
+        for target in TARGETS:
+            standalone = build_program(
+                SOURCES, BuildConfig(outline_rounds=2, target=target))
+            assert _sha(results[target].image) == _sha(standalone.image)
+            assert results[target].config.target == target
+            assert results[target].report.target == target
+
+    def test_slices_execute_identically(self):
+        results = build_targets(SOURCES, TARGETS, BuildConfig())
+        outputs = {t: run_build(r).output for t, r in results.items()}
+        assert outputs["arm64"] == outputs["thumb2c"] == ["75"]
+
+    def test_single_target_slicing_matches_plain_build(self):
+        sliced = build_targets(SOURCES, ["thumb2c"], BuildConfig())
+        plain = build_program(SOURCES, BuildConfig(target="thumb2c"))
+        assert _sha(sliced["thumb2c"].image) == _sha(plain.image)
+
+    def test_warm_sliced_build_skips_frontend(self, tmp_path):
+        config = BuildConfig(incremental=True, cache_dir=str(tmp_path))
+        build_targets(SOURCES, TARGETS, config)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            warm = build_targets(SOURCES, TARGETS, config)
+        counts = _span_counts(tracer)
+        for phase in ("parse", "sema", "silgen", "frontend", "backend"):
+            assert counts.get(phase, 0) == 0, (phase, counts)
+        for target in TARGETS:
+            assert warm[target].report.image_cache_hit
+            cold = build_program(
+                SOURCES, BuildConfig(target=target))
+            assert _sha(warm[target].image) == _sha(cold.image)
+
+    def test_bad_target_lists_are_typed_errors(self):
+        with pytest.raises(ReproError, match="at least one target"):
+            build_targets(SOURCES, [], BuildConfig())
+        with pytest.raises(ReproError, match="duplicate"):
+            build_targets(SOURCES, ["arm64", "arm64"], BuildConfig())
+        with pytest.raises(ReproError, match="unknown target"):
+            build_targets(SOURCES, ["riscv"], BuildConfig())
+
+
+class TestFrontendBackendSeam:
+    def test_seam_composes_to_fused_build(self):
+        config = BuildConfig(outline_rounds=2)
+        artifact = compile_frontend(SOURCES, config)
+        assert artifact.fingerprint
+        for target in TARGETS:
+            result = compile_backend(
+                artifact, BuildConfig(outline_rounds=2, target=target))
+            fused = build_program(
+                SOURCES, BuildConfig(outline_rounds=2, target=target))
+            assert _sha(result.image) == _sha(fused.image)
+
+    def test_artifact_is_reusable_across_backends(self):
+        # Two backends from ONE artifact: the second must not observe
+        # mutations the first backend made to the LIR.
+        artifact = compile_frontend(SOURCES, BuildConfig())
+        first = compile_backend(artifact, BuildConfig(target="arm64"))
+        second = compile_backend(artifact, BuildConfig(target="arm64"))
+        assert _sha(first.image) == _sha(second.image)
+
+    def test_frontend_fingerprint_ignores_backend_knobs(self):
+        a = compile_frontend(SOURCES, BuildConfig(outline_rounds=1))
+        b = compile_frontend(SOURCES, BuildConfig(outline_rounds=5,
+                                                  strip="program"))
+        assert a.fingerprint == b.fingerprint
+        c = compile_frontend({"Lib": SOURCES["Lib"] + "\n",
+                              "Main": SOURCES["Main"]},
+                             BuildConfig(outline_rounds=1))
+        assert a.fingerprint != c.fingerprint
+
+
+class TestApiSurface:
+    def test_build_targets_keyword(self):
+        results = api.build(SOURCES, targets=TARGETS, outline_rounds=2)
+        assert set(results) == set(TARGETS)
+        # The no-targets build follows the session default target; its
+        # slice must match it bit for bit.
+        single = api.build(SOURCES, outline_rounds=2)
+        assert _sha(results[single.config.target].image) == _sha(single.image)
+
+    def test_preset_with_targets(self):
+        results = api.build(SOURCES, preset="min-size", targets=TARGETS)
+        for target in TARGETS:
+            assert results[target].report.strip_mode == "program"
+            assert results[target].report.stripped_functions >= 1
+
+
+class TestSizeReport:
+    def _report(self):
+        results = build_targets(SOURCES, TARGETS, BuildConfig())
+        return sizereport.build_size_report(results), results
+
+    def test_totals_reconcile_with_image(self):
+        report, results = self._report()
+        assert report["schema"] == sizereport.SCHEMA
+        for target, result in results.items():
+            totals = report["targets"][target]["totals"]
+            image = result.image
+            assert totals["total_text_bytes"] == image.text_bytes
+            assert (totals["text_bytes"] + totals["outlined_bytes"]
+                    + totals["padding_bytes"] == image.text_bytes)
+            assert totals["binary_bytes"] == image.binary_bytes
+            modules = report["targets"][target]["modules"]
+            assert sum(r["text_bytes"] + r["outlined_bytes"]
+                       + r["padding_bytes"] for r in modules.values()) \
+                == image.text_bytes
+            assert sum(r["padding_bytes"] for r in modules.values()) \
+                == image.alignment_padding_bytes
+            assert sum(r["metadata_bytes"] for r in modules.values()) \
+                == image.metadata_bytes
+
+    def test_canonical_json_is_stable(self):
+        report1, _ = self._report()
+        report2, _ = self._report()
+        assert (sizereport.canonical_json(report1)
+                == sizereport.canonical_json(report2))
+        # Canonical: parses back to the same object, keys sorted.
+        parsed = json.loads(sizereport.canonical_json(report1))
+        assert parsed == report1
+
+    def test_diff_gate_passes_on_identical_reports(self):
+        report, _ = self._report()
+        lines, failures = sizereport.diff_reports(report, report)
+        assert not failures
+        assert any("ok" in line for line in lines)
+
+    def test_diff_gate_fails_on_text_growth(self):
+        report, _ = self._report()
+        grown = json.loads(sizereport.canonical_json(report))
+        totals = grown["targets"]["arm64"]["totals"]
+        totals["total_text_bytes"] = int(totals["total_text_bytes"] * 1.10)
+        lines, failures = sizereport.diff_reports(report, grown,
+                                                  max_text_growth_pct=1.0)
+        assert failures and "arm64" in failures[0]
+        # Shrinkage and new targets never fail.
+        _, ok = sizereport.diff_reports(grown, report)
+        assert not ok
+
+
+class TestCli:
+    @pytest.fixture
+    def source_file(self, tmp_path):
+        path = tmp_path / "App.sw"
+        path.write_text(
+            "func scale(x: Int) -> Int { return x * 3 }\n"
+            "func main() { print(scale(x: 14)) }\n")
+        return str(path)
+
+    def _run(self, args):
+        import io
+        import sys
+
+        out, err = io.StringIO(), io.StringIO()
+        old_out, old_err = sys.stdout, sys.stderr
+        sys.stdout, sys.stderr = out, err
+        try:
+            from repro.__main__ import main
+            code = main(args)
+        finally:
+            sys.stdout, sys.stderr = old_out, old_err
+        return code, out.getvalue(), err.getvalue()
+
+    def test_multi_target_build(self, source_file):
+        code, out, _ = self._run(["build", source_file,
+                                  "--target", "arm64",
+                                  "--target", "thumb2c"])
+        assert code == 0
+        assert "slice arm64" in out and "slice thumb2c" in out
+        assert "frontend shared with target arm64" in out
+
+    def test_size_verb_and_gate(self, source_file, tmp_path):
+        baseline = str(tmp_path / "base.json")
+        code, out, _ = self._run(["size", source_file,
+                                  "--target", "arm64",
+                                  "--target", "thumb2c",
+                                  "--preset", "min-size",
+                                  "--out", baseline])
+        assert code == 0 and "target arm64:" in out
+        report = json.loads(open(baseline).read())
+        assert report["schema"] == sizereport.SCHEMA
+
+        code, out, _ = self._run(["size", source_file,
+                                  "--target", "arm64",
+                                  "--target", "thumb2c",
+                                  "--preset", "min-size",
+                                  "--baseline", baseline])
+        assert code == 0 and "ok" in out
+
+        # Inject a regression into the baseline: pretend the past was
+        # much smaller, so the current build trips the gate.
+        report["targets"]["arm64"]["totals"]["total_text_bytes"] = 4
+        with open(baseline, "w") as fh:
+            fh.write(sizereport.canonical_json(report))
+        code, out, err = self._run(["size", source_file,
+                                    "--target", "arm64",
+                                    "--target", "thumb2c",
+                                    "--preset", "min-size",
+                                    "--baseline", baseline])
+        assert code == 1
+        assert "FAIL" in out and "arm64" in err
+
+    def test_multi_target_rejected_elsewhere(self, source_file):
+        code, _, err = self._run(["run", source_file,
+                                  "--target", "arm64",
+                                  "--target", "thumb2c"])
+        assert code != 0
+        assert "one --target" in err

@@ -140,7 +140,7 @@ class TestPresetEquivalence:
         """Every preset field that is not fingerprinted (i.e. not part of
         cache keys) must be declared in SPEED_FIELDS."""
         fingerprinted = {"pipeline", "outline_rounds", "merge_mode",
-                         "global_dce", "target", "data_layout"}
+                         "global_dce", "strip", "target", "data_layout"}
         for name, fields in PRESETS.items():
             for field_name in fields:
                 assert (field_name in fingerprinted

@@ -2,13 +2,6 @@
 
 import pytest
 
-from repro.isa.encoding import (
-    FUNCTION_METADATA_BYTES,
-    function_text_bytes,
-    instrs_to_bytes,
-    total_metadata_bytes,
-    total_text_bytes,
-)
 from repro.isa.instructions import (
     Cond,
     Label,
@@ -155,12 +148,14 @@ class TestContainers:
         module = MachineModule(name="m", functions=[fn])
         assert module.text_bytes == 12
 
-    def test_encoding_helpers(self):
+    def test_size_helpers_on_spec(self):
+        from repro.target.arm64 import ARM64
+
         fn = self._function()
-        assert instrs_to_bytes(10) == 40
-        assert function_text_bytes(fn) == 12
-        assert total_text_bytes([fn, fn]) == 24
-        assert total_metadata_bytes([fn, fn]) == 2 * FUNCTION_METADATA_BYTES
+        assert ARM64.function_text_bytes(fn) == 12
+        assert ARM64.total_text_bytes([fn, fn]) == 24
+        assert (ARM64.total_metadata_bytes([fn, fn])
+                == 2 * ARM64.function_metadata_bytes)
 
 
 class TestMaterializeConstant:

@@ -147,6 +147,29 @@ class TestConfigWire:
                           "cancel_scope", "chunk_timeout", "incremental"):
             assert forbidden not in wire
 
+    def test_every_fingerprinted_knob_is_wire_settable_or_excluded(self):
+        # The whitelist is derived from the config partition, so a new
+        # artifact-defining knob (e.g. ``strip``) is automatically
+        # round-trippable; this pins the partition itself: every field
+        # that enters a fingerprint either travels the wire or carries an
+        # explicit exclusion reason in CONFIG_WIRE_EXCLUDED.
+        from repro.pipeline.config import SPEED_FIELDS, config_fields
+        from repro.service.protocol import (
+            CONFIG_WIRE_EXCLUDED,
+            CONFIG_WIRE_FIELDS,
+        )
+
+        fingerprinted = set(config_fields()) - SPEED_FIELDS
+        assert set(CONFIG_WIRE_FIELDS) | CONFIG_WIRE_EXCLUDED == fingerprinted
+        assert not set(CONFIG_WIRE_FIELDS) & CONFIG_WIRE_EXCLUDED
+        # Exclusions must name real fields, or they rot silently.
+        assert CONFIG_WIRE_EXCLUDED <= set(config_fields())
+        # The knob this partition exists for: strip travels the wire.
+        assert "strip" in CONFIG_WIRE_FIELDS
+        roundtrip = config_from_wire(
+            config_to_wire(BuildConfig(strip="program")))
+        assert roundtrip.strip == "program"
+
 
 class TestCancelScope:
     def test_live_scope_checkpoint_is_noop(self):

@@ -1,0 +1,136 @@
+"""Unit tests for link-time whole-program stripping (strip_program).
+
+These exercise the reachability walk on hand-built machine modules —
+every edge kind the machine code can encode (BL calls, tail-call B,
+ADRP/ADDlo address materialization), the no-entry no-op, and the byte
+accounting against TargetSpec arithmetic.  The end-to-end behaviour
+(identical sim output, monotone text) lives in
+tests/property/test_strip_equivalence.py.
+"""
+
+from repro.isa.instructions import (
+    MachineFunction,
+    MachineInstr,
+    MachineModule,
+    Opcode,
+    Sym,
+)
+from repro.lir.passes.globaldce import StripStats, strip_program
+from repro.target import get_target
+
+ARM64 = get_target("arm64")
+
+
+def _fn(name, *instrs):
+    fn = MachineFunction(name=name)
+    block = fn.new_block("entry")
+    for instr in instrs:
+        block.append(instr)
+    block.append(MachineInstr(Opcode.RET))
+    return fn
+
+
+def _bl(callee):
+    return MachineInstr(Opcode.BL, (Sym(callee),))
+
+
+def _tail(callee):
+    return MachineInstr(Opcode.B, (Sym(callee),))
+
+
+def _adrp(symbol):
+    return MachineInstr(Opcode.ADRP, ("x0", Sym(symbol)))
+
+
+def _names(modules):
+    return {fn.name for m in modules for fn in m.functions}
+
+
+class TestReachability:
+    def test_direct_and_transitive_calls_survive(self):
+        modules = [MachineModule(name="M", functions=[
+            _fn("main", _bl("a")), _fn("a", _bl("b")), _fn("b"),
+            _fn("dead"),
+        ])]
+        stats = strip_program(modules, "main", ARM64)
+        assert _names(modules) == {"main", "a", "b"}
+        assert stats.functions_removed == 1
+        assert stats.removed == ["dead"]
+
+    def test_tail_call_is_an_edge(self):
+        modules = [MachineModule(name="M", functions=[
+            _fn("main", _tail("a")), _fn("a"), _fn("dead"),
+        ])]
+        strip_program(modules, "main", ARM64)
+        assert _names(modules) == {"main", "a"}
+
+    def test_address_taken_is_an_edge(self):
+        # ADRP @f materializes f's address (a BLR goes through this),
+        # so an address-taken function is reachable even with no BL.
+        modules = [MachineModule(name="M", functions=[
+            _fn("main", _adrp("taken")), _fn("taken"), _fn("dead"),
+        ])]
+        strip_program(modules, "main", ARM64)
+        assert _names(modules) == {"main", "taken"}
+
+    def test_dead_subgraph_removed_as_a_whole(self):
+        modules = [MachineModule(name="M", functions=[
+            _fn("main"), _fn("droot", _bl("dleaf")), _fn("dleaf"),
+        ])]
+        stats = strip_program(modules, "main", ARM64)
+        assert _names(modules) == {"main"}
+        assert stats.functions_removed == 2
+
+    def test_cross_module_edges(self):
+        modules = [
+            MachineModule(name="A", functions=[_fn("main", _bl("B::f"))]),
+            MachineModule(name="B", functions=[_fn("B::f"), _fn("B::g")]),
+        ]
+        stats = strip_program(modules, "main", ARM64)
+        assert _names(modules) == {"main", "B::f"}
+        assert set(stats.per_module) == {"B"}
+
+    def test_runtime_symbols_are_not_roots_or_errors(self):
+        # swift_retain is not a machine function: the edge just never
+        # matches, and nothing blows up.
+        modules = [MachineModule(name="M", functions=[
+            _fn("main", _bl("swift_retain")), _fn("dead"),
+        ])]
+        strip_program(modules, "main", ARM64)
+        assert _names(modules) == {"main"}
+
+
+class TestNoOpCases:
+    def test_no_entry_is_a_noop(self):
+        modules = [MachineModule(name="M", functions=[_fn("f"), _fn("g")])]
+        stats = strip_program(modules, None, ARM64)
+        assert stats == StripStats()
+        assert _names(modules) == {"f", "g"}
+
+    def test_unknown_entry_is_a_noop(self):
+        modules = [MachineModule(name="M", functions=[_fn("f")])]
+        stats = strip_program(modules, "nope", ARM64)
+        assert stats.functions_removed == 0
+        assert _names(modules) == {"f"}
+
+    def test_everything_reachable_removes_nothing(self):
+        modules = [MachineModule(name="M", functions=[
+            _fn("main", _bl("a")), _fn("a"),
+        ])]
+        stats = strip_program(modules, "main", ARM64)
+        assert stats.functions_removed == 0
+        assert stats.per_module == {}
+
+
+class TestByteAccounting:
+    def test_bytes_priced_like_the_linker(self):
+        dead = _fn("dead", _bl("alsodead"))
+        alsodead = _fn("alsodead")
+        modules = [MachineModule(name="M", functions=[
+            _fn("main"), dead, alsodead,
+        ])]
+        expected = (ARM64.function_text_bytes(dead)
+                    + ARM64.function_text_bytes(alsodead))
+        stats = strip_program(modules, "main", ARM64)
+        assert stats.bytes_removed == expected
+        assert stats.per_module["M"] == {"functions": 2, "bytes": expected}

@@ -148,17 +148,6 @@ def test_spec_is_frozen():
         ARM64.function_alignment = 8  # type: ignore[misc]
 
 
-# --- deprecated aliases ------------------------------------------------------
-
-
-def test_isa_encoding_aliases_track_arm64():
-    from repro.isa import encoding
-
-    assert encoding.FUNCTION_ALIGNMENT == ARM64.function_alignment
-    assert encoding.FUNCTION_METADATA_BYTES == ARM64.function_metadata_bytes
-    assert encoding.instrs_to_bytes(3) == 12
-
-
 # --- width-arithmetic lint ---------------------------------------------------
 
 #: Modules allowed to import INSTR_BYTES: the ISA itself, the target specs
